@@ -1,0 +1,138 @@
+// Command faultsim runs a single fault-injection experiment against one of
+// the Table-2 workloads and prints the convergence trend of the faulty run
+// next to the fault-free reference — the repository counterpart of the
+// paper artifact's reproduce_injections.py.
+//
+// Usage:
+//
+//	faultsim -workload resnet -kind g1 -layer 1 -pass forward -iter 30
+//	faultsim -workload resnet -random -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/accel"
+	"repro/internal/fault"
+	"repro/internal/outcome"
+	"repro/internal/record"
+	"repro/internal/rng"
+)
+
+var kindNames = map[string]accel.FFKind{
+	"datapath":  accel.DatapathOther,
+	"upper-exp": accel.DatapathUpperExponent,
+	"local":     accel.LocalControl,
+	"g1":        accel.GlobalG1, "g2": accel.GlobalG2, "g3": accel.GlobalG3,
+	"g4": accel.GlobalG4, "g5": accel.GlobalG5, "g6": accel.GlobalG6,
+	"g7": accel.GlobalG7, "g8": accel.GlobalG8, "g9": accel.GlobalG9,
+	"g10": accel.GlobalG10,
+}
+
+var passNames = map[string]fault.Pass{
+	"forward":         fault.Forward,
+	"backward-input":  fault.BackwardInput,
+	"backward-weight": fault.BackwardWeight,
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "resnet", "workload name (see ffstats -workloads)")
+		kind     = flag.String("kind", "g1", "FF kind: datapath, upper-exp, local, g1..g10")
+		layer    = flag.Int("layer", 0, "target layer index")
+		passName = flag.String("pass", "forward", "forward | backward-input | backward-weight")
+		iter     = flag.Int("iter", 20, "iteration to inject at")
+		n        = flag.Int("n", 1, "fault duration in cycles")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		random   = flag.Bool("random", false, "sample a random injection instead of the flags above")
+		every    = flag.Int("every", 10, "print the trace every N iterations")
+		outTrace = flag.String("out", "", "write the faulty trace to this file (.json or artifact-style .txt)")
+		injFile  = flag.String("inj", "", "load the injection from this JSON file instead of flags")
+	)
+	flag.Parse()
+
+	var inj repro.Injection
+	if *injFile != "" {
+		f, err := os.Open(*injFile)
+		if err != nil {
+			fatal(err)
+		}
+		inj, err = record.ReadInjectionJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else if *random {
+		var err error
+		inj, err = repro.RandomInjection(*workload, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		k, ok := kindNames[strings.ToLower(*kind)]
+		if !ok {
+			fatal(fmt.Errorf("unknown FF kind %q", *kind))
+		}
+		p, ok := passNames[strings.ToLower(*passName)]
+		if !ok {
+			fatal(fmt.Errorf("unknown pass %q", *passName))
+		}
+		inj = repro.Injection{
+			Kind: k, LayerIdx: *layer, Pass: p, Iteration: *iter,
+			CycleFrac: 0.3, N: *n, Unit: 2, DeltaFrac: 0.5, BitPos: 30,
+			Seed: rng.Seed{State: uint64(*seed) * 2654435761, Stream: uint64(*seed)},
+		}
+	}
+	fmt.Printf("injection: %v @ layer %d, %v, iteration %d (n=%d)\n",
+		inj.Kind, inj.LayerIdx, inj.Pass, inj.Iteration, inj.N)
+
+	faulty, ref, err := repro.SingleInjection(*workload, inj, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\n%-6s  %-22s  %-22s\n", "iter", "faulty (loss / acc)", "fault-free (loss / acc)")
+	for i := 0; i < len(ref.TrainLoss); i += *every {
+		f := "   (terminated)"
+		if i < len(faulty.TrainLoss) {
+			f = fmt.Sprintf("%8.4f / %5.3f", faulty.TrainLoss[i], faulty.TrainAcc[i])
+		}
+		fmt.Printf("%-6d  %-22s  %8.4f / %5.3f\n", i, f, ref.TrainLoss[i], ref.TrainAcc[i])
+	}
+	if faulty.NonFiniteIter >= 0 {
+		fmt.Printf("\nINF/NaN error at iteration %d (%s)\n", faulty.NonFiniteIter, faulty.NonFiniteAt)
+	}
+	cls := outcome.NewClassifier(ref)
+	fmt.Printf("outcome: %v\n", cls.Classify(faulty, inj.Pass))
+	fmt.Printf("final train acc: faulty %.3f vs fault-free %.3f\n",
+		faulty.FinalTrainAcc(10), ref.FinalTrainAcc(10))
+	if ta := faulty.FinalTestAcc(); ta >= 0 {
+		fmt.Printf("final test acc:  faulty %.3f vs fault-free %.3f\n", ta, ref.FinalTestAcc())
+	}
+
+	if *outTrace != "" {
+		f, err := os.Create(*outTrace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*outTrace, ".json") {
+			err = record.WriteTraceJSON(f, faulty)
+		} else {
+			err = record.WriteTraceText(f, faulty)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *outTrace)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultsim:", err)
+	os.Exit(1)
+}

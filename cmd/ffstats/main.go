@@ -1,0 +1,57 @@
+// Command ffstats prints the modeled accelerator's flip-flop inventory
+// (the population view behind Table 1) and runs the structural
+// software-fault-model validation of Sec 3.2.3.
+//
+// Usage:
+//
+//	ffstats
+//	ffstats -validate 1000
+//	ffstats -workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+	"repro/internal/accel"
+)
+
+func main() {
+	var (
+		validate  = flag.Int("validate", 200, "structural validation trials (0 to skip)")
+		seed      = flag.Int64("seed", 1, "validation seed")
+		workloads = flag.Bool("workloads", false, "list the Table-2 workload zoo instead")
+	)
+	flag.Parse()
+
+	if *workloads {
+		fmt.Printf("%-18s %-42s %s\n", "name", "paper workload", "optimizer/norm")
+		for _, w := range repro.Workloads() {
+			norm := "no norm"
+			if w.HasNorm {
+				norm = fmt.Sprintf("BN momentum %.2f", w.BNMomentum)
+			}
+			fmt.Printf("%-18s %-42s %s, %s\n", w.Name, w.Paper, w.NewOptimizer().Name(), norm)
+		}
+		return
+	}
+
+	fmt.Println("modeled accelerator FF inventory (NVDLA-style, Table 1 populations):")
+	fmt.Printf("  %-22s %10s %9s\n", "FF class", "count", "fraction")
+	var total int
+	for _, row := range repro.Inventory() {
+		fmt.Printf("  %-22s %10d %8.2f%%\n", row.Kind, row.Count, 100*row.Fraction)
+		total += row.Count
+	}
+	fmt.Printf("  %-22s %10d\n", "total", total)
+	fmt.Printf("\n  global control FFs: ~%d (%d unique control variables)\n",
+		accel.GlobalControlFFCount, accel.UniqueControlVariables)
+	fmt.Printf("  MAC units per cycle: %d; input channels per fetch: %d\n",
+		accel.MACUnits, accel.InputChannelsPerCycle)
+
+	if *validate > 0 {
+		agree, n := repro.ValidateFaultModels(*validate, *seed)
+		fmt.Printf("\nsoftware-fault-model validation (Sec 3.2.3): %d/%d structural trials agree\n", agree, n)
+	}
+}

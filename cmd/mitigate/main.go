@@ -1,0 +1,143 @@
+// Command mitigate evaluates the Sec-5 mitigation stack: it measures the
+// steady-state overhead of per-iteration bounds checking and the cost of a
+// two-iteration re-execution, then demonstrates the full
+// detect-and-recover pipeline on an injected fault — the repository
+// counterpart of the artifact's detection.py / replay.py.
+//
+// Usage:
+//
+//	mitigate -workload resnet -iters 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/accel"
+	"repro/internal/detect"
+	"repro/internal/fault"
+	"repro/internal/recovery"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "resnet", "workload to evaluate")
+		iters    = flag.Int("iters", 60, "iterations per measurement run")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	w, err := repro.WorkloadByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mitigate:", err)
+		os.Exit(1)
+	}
+
+	// --- detection overhead (Sec 5.3: 0.003%–0.025% on TPUs) -----------
+	// Methodology follows the paper's artifact (A.5.2): the check is
+	// executed `amplify` times per training iteration so its cost rises
+	// above timer noise, then the measured overhead is divided back down.
+	const amplify = 1000
+	base := measure(func() {
+		e := w.NewEngine(rng.Seed{State: uint64(*seed), Stream: 77})
+		for i := 0; i < *iters; i++ {
+			e.RunIteration(i)
+		}
+	})
+	checked := measure(func() {
+		e := w.NewEngine(rng.Seed{State: uint64(*seed), Stream: 77})
+		d := detect.New(detect.Derive(detect.ConfigForModel(e.Replica(0), w.BatchSize(), w.LR)))
+		for i := 0; i < *iters; i++ {
+			e.RunIteration(i)
+			for k := 0; k < amplify; k++ {
+				if a := d.CheckEngine(e); a != nil {
+					fmt.Fprintln(os.Stderr, "unexpected alarm on clean run:", a)
+					os.Exit(1)
+				}
+			}
+		}
+	})
+	fmt.Printf("workload %s (%d iterations, checks amplified %d×)\n", w.Name, *iters, amplify)
+	fmt.Printf("  plain training:        %v\n", base)
+	fmt.Printf("  per-iteration bounds check overhead: %.4f%%\n", overheadPct(base, checked)/amplify)
+
+	// --- recovery overhead (Sec 5.3: 0.04%–0.15% with one re-execution) -
+	// The artifact re-executes the two most recent iterations once every
+	// 10 training iterations; the per-invocation cost is measured the same
+	// way.
+	recov := measure(func() {
+		e := w.NewEngine(rng.Seed{State: uint64(*seed), Stream: 77})
+		re := recovery.NewReExecutor(e)
+		for i := 0; i < *iters; i++ {
+			re.BeforeIteration(i)
+			e.RunIteration(i)
+			if i > 0 && i%10 == 0 {
+				resume := re.Rollback()
+				for j := resume; j <= i; j++ {
+					re.BeforeIteration(j)
+					e.RunIteration(j)
+				}
+			}
+		}
+	})
+	invocations := (*iters - 1) / 10
+	fmt.Printf("  re-execution overhead (%d invocations): %.4f%% total, %.4f%% per invocation\n",
+		invocations, overheadPct(base, recov), overheadPct(base, recov)/float64(invocations))
+
+	// --- checkpointing comparison (Sec 5.3: up to 500× cheaper) ---------
+	epoch := *iters / 2
+	lostCheckpoint := float64(epoch) / 2 // average loss: half an epoch
+	lostReexec := 2.0
+	fmt.Printf("  recovery cost ratio, epoch checkpointing (%d-iter epochs) vs re-execution: %.0f×\n",
+		epoch, lostCheckpoint/lostReexec)
+
+	// --- end-to-end demonstration ---------------------------------------
+	g, _, err := repro.NewGuarded(*workload, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mitigate:", err)
+		os.Exit(1)
+	}
+	g.E.SetInjection(&fault.Injection{
+		Kind: accel.GlobalG1, LayerIdx: 0, Pass: fault.BackwardWeight,
+		Iteration: *iters / 3, CycleFrac: 0, N: 8,
+		Seed: rng.Seed{State: 21, Stream: 4},
+	})
+	trace := train.NewTrace(w.Name + "-guarded")
+	if err := g.Run(0, *iters, trace); err != nil {
+		fmt.Fprintln(os.Stderr, "mitigate: guarded run failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nend-to-end: injected %v fault at iteration %d\n", accel.GlobalG1, *iters/3)
+	if len(g.Events) == 0 {
+		fmt.Println("  fault was masked or benign; no detection needed")
+	}
+	for _, ev := range g.Events {
+		fmt.Printf("  detected at iteration %d (%s); re-executed from iteration %d\n",
+			ev.Iteration, ev.Alarm.Where, ev.ResumedFrom)
+	}
+	fmt.Printf("  final training accuracy: %.3f\n", trace.FinalTrainAcc(10))
+}
+
+// measure times f over several repetitions and returns the minimum — the
+// standard way to suppress warm-up and scheduler noise in wall-clock
+// overhead comparisons.
+func measure(f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for rep := 0; rep < 5; rep++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func overheadPct(base, with time.Duration) float64 {
+	return 100 * (float64(with) - float64(base)) / float64(base)
+}

@@ -1,0 +1,122 @@
+// Command outcomesearch sweeps the injection parameter space of one
+// workload (FF kind × layer × iteration × pass × value seed) and reports
+// every experiment that produced a latent or short-term unexpected outcome.
+// It is the tool used to pin the reproducible Fig-2 injections in
+// bench_test.go and examples/slowdegrade.
+//
+// Usage:
+//
+//	outcomesearch -workload resnet_nobn -seeds 6
+//	outcomesearch -workload resnet_sgd -kinds g1,g3 -passes forward
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/accel"
+	"repro/internal/outcome"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+var kindNames = map[string]accel.FFKind{
+	"datapath": accel.DatapathOther, "upper-exp": accel.DatapathUpperExponent,
+	"local": accel.LocalControl,
+	"g1":    accel.GlobalG1, "g2": accel.GlobalG2, "g3": accel.GlobalG3,
+	"g4": accel.GlobalG4, "g5": accel.GlobalG5, "g6": accel.GlobalG6,
+	"g7": accel.GlobalG7, "g8": accel.GlobalG8, "g9": accel.GlobalG9,
+	"g10": accel.GlobalG10,
+}
+
+var passNames = map[string]repro.Pass{
+	"forward": repro.Forward, "backward-input": repro.BackwardInput,
+	"backward-weight": repro.BackwardWeight,
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "resnet", "workload to sweep")
+		kindsArg = flag.String("kinds", "g1,g3,local,upper-exp", "comma-separated FF kinds")
+		passArg  = flag.String("passes", "forward,backward-input,backward-weight", "comma-separated passes")
+		seeds    = flag.Int("seeds", 4, "value seeds per configuration")
+		n        = flag.Int("n", 8, "fault duration in cycles")
+		verbose  = flag.Bool("v", false, "also print benign results")
+	)
+	flag.Parse()
+
+	w, err := repro.WorkloadByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	var kinds []accel.FFKind
+	for _, k := range strings.Split(*kindsArg, ",") {
+		kk, ok := kindNames[strings.TrimSpace(k)]
+		if !ok {
+			fatal(fmt.Errorf("unknown kind %q", k))
+		}
+		kinds = append(kinds, kk)
+	}
+	var passes []repro.Pass
+	for _, p := range strings.Split(*passArg, ",") {
+		pp, ok := passNames[strings.TrimSpace(p)]
+		if !ok {
+			fatal(fmt.Errorf("unknown pass %q", p))
+		}
+		passes = append(passes, pp)
+	}
+
+	engineSeed := rng.Seed{State: 9, Stream: 77}
+	refEngine := w.NewEngine(engineSeed)
+	layers := refEngine.Replica(0).Len()
+	ref := train.NewTrace(w.Name + "-ref")
+	refEngine.Run(0, w.Iters, ref, false)
+	cls := outcome.NewClassifier(ref)
+	fmt.Printf("workload %s: %d layers, %d fault-free iterations, reference acc %.3f\n",
+		w.Name, layers, w.Iters, ref.FinalTrainAcc(10))
+
+	counts := map[outcome.Outcome]int{}
+	iterPoints := []int{w.Iters / 8, w.Iters / 3, 2 * w.Iters / 3}
+	for _, kind := range kinds {
+		for layer := 0; layer < layers; layer++ {
+			for _, iter := range iterPoints {
+				for _, pass := range passes {
+					for seed := uint64(1); seed <= uint64(*seeds); seed++ {
+						wl, _ := repro.WorkloadByName(w.Name)
+						wl.Iters = w.Iters
+						e := wl.NewEngine(engineSeed)
+						inj := repro.Injection{
+							Kind: kind, LayerIdx: layer, Pass: pass,
+							Iteration: iter, CycleFrac: 0, N: *n, Unit: 2,
+							Seed: rng.Seed{State: seed, Stream: seed * 3},
+						}
+						e.SetInjection(&inj)
+						faulty := train.NewTrace(w.Name)
+						e.Run(0, wl.Iters, faulty, true)
+						o := cls.Classify(faulty, inj.Pass)
+						counts[o]++
+						if *verbose || o.IsUnexpected() {
+							fmt.Printf("%-18v kind=%-10v layer=%d iter=%-3d pass=%-20v seed={State:%d,Stream:%d} acc=%.3f nan=%d\n",
+								o, kind, layer, iter, pass, inj.Seed.State, inj.Seed.Stream,
+								faulty.FinalTrainAcc(10), faulty.NonFiniteIter)
+						}
+					}
+				}
+			}
+		}
+	}
+	fmt.Println("\ntotals:")
+	for _, o := range outcome.All() {
+		if counts[o] > 0 {
+			fmt.Printf("  %-18v %d\n", o, counts[o])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "outcomesearch:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Command report renders an archived campaign (the JSON written by
+// `campaign -json`) as a Markdown report: outcome breakdown with Wilson
+// confidence intervals, detection statistics, necessary-condition extremes,
+// and the FF-class contribution table.
+//
+// Usage:
+//
+//	campaign -workload resnet -n 200 -json run.json
+//	report -in run.json > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/record"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "campaign JSON file (from `campaign -json`)")
+		out = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "report: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := record.ReadCampaignJSON(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer w.Close()
+	}
+	if err := record.RenderMarkdown(w, c); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

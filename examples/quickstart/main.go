@@ -1,0 +1,37 @@
+// Quickstart: train a Table-2 workload fault-free on the simulated 8-device
+// system and print its convergence — the baseline every fault-injection
+// experiment is compared against.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+func main() {
+	w, err := repro.WorkloadByName("resnet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s (stand-in for %s)\n", w.Name, w.Paper)
+	fmt.Printf("devices: %d, global batch: %d, optimizer: %s\n\n",
+		w.Devices, w.BatchSize(), w.NewOptimizer().Name())
+
+	engine := w.NewEngine(rng.Seed{State: 42, Stream: 1})
+	trace := train.NewTrace(w.Name)
+	engine.Run(0, w.Iters, trace, false)
+
+	fmt.Printf("%-6s %-10s %-10s\n", "iter", "loss", "train acc")
+	for i := 0; i < len(trace.TrainLoss); i += 10 {
+		fmt.Printf("%-6d %-10.4f %-10.3f\n", i, trace.TrainLoss[i], trace.TrainAcc[i])
+	}
+	fmt.Printf("\nfinal train accuracy: %.3f\n", trace.FinalTrainAcc(10))
+	fmt.Printf("final test accuracy:  %.3f\n", trace.FinalTestAcc())
+	if trace.NonFiniteIter != -1 {
+		log.Fatalf("unexpected INF/NaN at iteration %d", trace.NonFiniteIter)
+	}
+}

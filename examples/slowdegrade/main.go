@@ -1,0 +1,67 @@
+// Slowdegrade reproduces the paper's Fig-2a phenomenology: a single
+// transient hardware fault in the backward pass corrupts the optimizer's
+// gradient-history values, after which training accuracy degrades over the
+// following iterations and stays low — with no visible anomaly (no NaN, no
+// error message) at any point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/accel"
+	"repro/internal/outcome"
+	"repro/internal/rng"
+)
+
+func main() {
+	// A group-1 control-FF fault (random dynamic-range values across all 16
+	// MAC units) corrupting the input-gradient operation early in training.
+	// Per the paper's analysis (Sec 4.2.3), SlowDegrade requires a
+	// backward-pass fault and an optimizer that normalizes gradients: the
+	// corrupted Adam history freezes a swath of weights before the network
+	// has converged, and accuracy stays low for the rest of the run. The
+	// resnet_nobn workload is used so normalization layers cannot soften
+	// the blow (Observation 3).
+	inj := repro.Injection{
+		Kind:      accel.GlobalG1,
+		LayerIdx:  5, // global-average-pool: its input gradient feeds every conv upstream
+		Pass:      repro.BackwardInput,
+		Iteration: 15,
+		CycleFrac: 0,
+		N:         8,
+		Seed:      rng.Seed{State: 1, Stream: 3},
+	}
+	fmt.Println("injecting:", inj.Kind, "into the backward pass at iteration", inj.Iteration)
+
+	faulty, ref, err := repro.SingleInjection("resnet_nobn", inj, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-6s %-12s %-12s\n", "iter", "faulty acc", "fault-free acc")
+	for i := 0; i < len(faulty.TrainAcc); i += 8 {
+		marker := ""
+		if i == inj.Iteration {
+			marker = "   <-- fault injected here"
+		}
+		fmt.Printf("%-6d %-12.3f %-12.3f%s\n", i, faulty.TrainAcc[i], ref.TrainAcc[i], marker)
+	}
+
+	cls := outcome.NewClassifier(ref)
+	o := cls.Classify(faulty, inj.Pass)
+	fmt.Printf("\nclassified outcome: %v\n", o)
+	fmt.Printf("no INF/NaN was ever raised: %v\n", faulty.NonFiniteIter == -1)
+	fmt.Printf("final accuracy: faulty %.3f vs fault-free %.3f\n",
+		faulty.FinalTrainAcc(10), ref.FinalTrainAcc(10))
+
+	phases := cls.DetectPhases(faulty)
+	fmt.Printf("\nFig-5 phases: degradation from iteration %d, bottom (%.3f) at iteration %d",
+		phases.DegradeStart, phases.MinAcc, phases.StagnationStart)
+	if phases.RecoveryStart >= 0 {
+		fmt.Printf(", recovery from iteration %d\n", phases.RecoveryStart)
+	} else {
+		fmt.Printf(", no recovery within the run (Sec 4.2.3: the recovery phase may never be reached)\n")
+	}
+}

@@ -1,0 +1,168 @@
+// Package core ties the substrates into the paper's two headline artifacts:
+//
+//  1. the fault-injection study pipeline — sample hardware faults, inject
+//     them into distributed training runs, classify the outcomes, and
+//     extract the necessary-condition statistics (Secs 3–4), and
+//  2. the mitigation pipeline — mathematically derived bounds checking plus
+//     two-iteration re-execution (Sec 5).
+//
+// Everything here is a thin orchestration layer over internal/experiment,
+// internal/detect, internal/recovery and internal/workloads; the root repro
+// package re-exports this API for external users, examples, and commands.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/detect"
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/recovery"
+	"repro/internal/rng"
+	"repro/internal/train"
+	"repro/internal/workloads"
+)
+
+// CampaignConfig is re-exported from the experiment harness.
+type CampaignConfig = experiment.Config
+
+// Campaign is a completed statistical FI campaign.
+type Campaign = experiment.Campaign
+
+// RunCampaign runs a statistical fault-injection campaign against the named
+// workload — the top-level entry point corresponding to the paper's 2.9M-
+// experiment study, scaled by cfg.Experiments.
+func RunCampaign(workloadName string, experiments int, seed int64) (*Campaign, error) {
+	w, err := workloads.ByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	return experiment.Run(experiment.Config{
+		Workload:    w,
+		Experiments: experiments,
+		Seed:        seed,
+		HorizonMult: 1.5,
+	}), nil
+}
+
+// SingleInjection reproduces one fault-injection experiment (the
+// counterpart of the artifact's reproduce_injections.py): it trains the
+// named workload with the given injection armed and returns the recorded
+// trace plus the fault-free reference trace.
+func SingleInjection(workloadName string, inj fault.Injection, seed int64) (faulty, ref *train.Trace, err error) {
+	w, err := workloads.ByName(workloadName)
+	if err != nil {
+		return nil, nil, err
+	}
+	horizon := w.Iters
+
+	refEngine := w.NewEngine(rng.Seed{State: uint64(seed), Stream: 77})
+	ref = train.NewTrace(w.Name + "-ref")
+	refEngine.Run(0, horizon, ref, false)
+
+	e := w.NewEngine(rng.Seed{State: uint64(seed), Stream: 77})
+	e.SetInjection(&inj)
+	faulty = train.NewTrace(w.Name)
+	e.Run(0, horizon, faulty, true)
+	return faulty, ref, nil
+}
+
+// NewGuarded builds the full Sec-5 mitigation stack for the named workload:
+// an engine with the detection bounds derived from the workload's own
+// properties (Algorithm 1) and two-iteration re-execution.
+func NewGuarded(workloadName string, seed int64) (*recovery.Guarded, *workloads.Workload, error) {
+	w, err := workloads.ByName(workloadName)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := w.NewEngine(rng.Seed{State: uint64(seed), Stream: 77})
+	d := detect.New(detect.Derive(detect.ConfigForModel(e.Replica(0), w.BatchSize(), w.LR)))
+	return recovery.NewGuarded(e, d), w, nil
+}
+
+// RandomInjection samples one injection for the named workload, for tools
+// that want a single random experiment.
+func RandomInjection(workloadName string, seed int64) (fault.Injection, error) {
+	w, err := workloads.ByName(workloadName)
+	if err != nil {
+		return fault.Injection{}, err
+	}
+	e := w.NewEngine(rng.Seed{State: uint64(seed), Stream: 77})
+	s := fault.NewSampler(accel.NVDLAInventory(), rng.NewFromInt(seed))
+	return s.Sample(e.Replica(0).Len(), w.Iters*4/5), nil
+}
+
+// InventoryReport renders the accelerator FF inventory (Table 1 population
+// view) as rows of (kind, count, fraction).
+type InventoryRow struct {
+	Kind     accel.FFKind
+	Count    int
+	Fraction float64
+}
+
+// Inventory returns the modeled accelerator's FF population.
+func Inventory() []InventoryRow {
+	inv := accel.NVDLAInventory()
+	var rows []InventoryRow
+	for _, k := range accel.Kinds() {
+		rows = append(rows, InventoryRow{Kind: k, Count: inv.Count(k), Fraction: inv.Fraction[k]})
+	}
+	return rows
+}
+
+// ValidateFaultModels runs the Sec-3.2.3 style structural validation:
+// trials control-FF injections into the structural MAC-array simulator,
+// checking each observed corruption against the software fault model's
+// prediction. It returns (agreeing, total).
+func ValidateFaultModels(trials int, seed int64) (agree, total int) {
+	kinds := []accel.FFKind{
+		accel.GlobalG1, accel.GlobalG2, accel.GlobalG3, accel.GlobalG4,
+		accel.GlobalG5, accel.GlobalG6, accel.GlobalG7, accel.GlobalG8,
+		accel.GlobalG9, accel.GlobalG10,
+	}
+	r := rng.NewFromInt(seed)
+	const k, ck, w = 36, 9, 7
+	for trial := 0; trial < trials; trial++ {
+		arr := &accel.MACArray{Weights: accel.NewMatrix(k, ck), Inputs: accel.NewMatrix(ck, w)}
+		for i := range arr.Weights.Data {
+			arr.Weights.Data[i] = float32(r.NormFloat64())
+		}
+		for i := range arr.Inputs.Data {
+			arr.Inputs.Data[i] = float32(r.NormFloat64())
+		}
+		clean := arr.Run(nil)
+		sched := accel.NewSchedule([]int{k, w}, 0)
+		f := &accel.ControlFault{
+			Kind:       kinds[r.Intn(len(kinds))],
+			StartCycle: r.Intn(sched.Cycles()),
+			N:          1 + r.Intn(4),
+			Unit:       r.Intn(accel.MACUnits),
+			AddrDelta:  1 + r.Intn(w-1),
+			SourceCol:  r.Intn(w),
+			Rand:       r.Split(uint64(trial)),
+		}
+		faulty := arr.Run(f)
+		pred := accel.PredictCorruption(k, w, f)
+		ok := true
+		for _, idx := range accel.DiffPositions(clean, faulty) {
+			if !pred[idx] {
+				ok = false
+				break
+			}
+		}
+		total++
+		if ok {
+			agree++
+		}
+	}
+	return agree, total
+}
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// DescribeInjection formats an injection for command-line output.
+func DescribeInjection(inj fault.Injection) string {
+	return fmt.Sprintf("kind=%v layer=%d pass=%v iter=%d n=%d", inj.Kind, inj.LayerIdx, inj.Pass, inj.Iteration, inj.N)
+}

@@ -1,0 +1,407 @@
+// Package experiment implements the statistical fault-injection campaign
+// harness (Sec 3.3): it runs batches of randomized FI experiments against a
+// workload, classifies each run's outcome, and aggregates the statistics the
+// paper reports — outcome breakdowns (Fig 3), necessary-condition value
+// ranges (Table 4), FF-class contributions (Sec 4.3.1), detection coverage
+// and latency (Sec 5.1), and manifestation latencies (Table 3).
+//
+// Each experiment follows the paper's four steps: (1) randomly select an FF
+// and cycle, (2)+(3) derive the corrupted output elements and their faulty
+// values from the software fault model, (4) continue training until an
+// INF/NaN error message or the iteration budget (2× the fault-free run).
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/detect"
+	"repro/internal/fault"
+	"repro/internal/outcome"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/train"
+	"repro/internal/workloads"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Workload under test.
+	Workload *workloads.Workload
+	// Experiments is the number of fault injections.
+	Experiments int
+	// Seed drives all sampling; campaigns are fully reproducible.
+	Seed int64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// HorizonMult scales the per-experiment iteration budget relative to
+	// the workload's fault-free run; the paper uses 2×.
+	HorizonMult float64
+	// InjectFrac restricts injection iterations to the first fraction of
+	// the fault-free run, leaving room to observe latent effects.
+	InjectFrac float64
+	// BiasKinds, when non-empty, importance-samples the FF kind uniformly
+	// from this list instead of by population. The paper's deep-dive
+	// analyses (Table 4 condition ranges, Sec 4.3.1 contributions) focus
+	// on the FF families that generate large magnitudes; biasing collects
+	// enough of those cases at laptop-scale experiment counts. Outcome
+	// *percentages* from a biased campaign are conditional on the bias and
+	// must not be read as Fig-3 population rates.
+	BiasKinds []accel.FFKind
+	// BiasPasses, when non-empty, restricts the injected pass similarly.
+	BiasPasses []fault.Pass
+}
+
+// Record is the result of one FI experiment.
+type Record struct {
+	// Injection is the sampled fault.
+	Injection fault.Injection
+	// Outcome is the Table-3 classification.
+	Outcome outcome.Outcome
+	// FinalTrainAcc / FinalTestAcc summarize the end of the run.
+	FinalTrainAcc, FinalTestAcc float64
+	// NonFiniteIter is the INF/NaN iteration (-1 if none).
+	NonFiniteIter int
+	// HistAtT / HistAtT1 are the max absolute optimizer-history values
+	// observed right after the fault iteration and the next one — the
+	// necessary-condition measurements of Table 4.
+	HistAtT, HistAtT1 float64
+	// MvarAtT / MvarAtT1 are the corresponding moving-variance maxima.
+	MvarAtT, MvarAtT1 float64
+	// DetectIter is the iteration the bounds detector first alarmed
+	// (-1 if never). Detection here is observational: the run continues.
+	DetectIter int
+	// InjectedElems is the corruption footprint size.
+	InjectedElems int
+	// Masked is true when the injection changed no values.
+	Masked bool
+}
+
+// Campaign is a completed batch of experiments.
+type Campaign struct {
+	Cfg     Config
+	Ref     *train.Trace
+	RefAcc  float64
+	Records []Record
+	Tally   outcome.Tally
+}
+
+// Run executes the campaign.
+func Run(cfg Config) *Campaign {
+	if cfg.HorizonMult <= 0 {
+		cfg.HorizonMult = 1.0
+	}
+	if cfg.InjectFrac <= 0 || cfg.InjectFrac > 1 {
+		cfg.InjectFrac = 0.8
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	w := cfg.Workload
+	horizon := int(float64(w.Iters) * cfg.HorizonMult)
+
+	// Fault-free reference run.
+	refEngine := w.NewEngine(rng.Seed{State: uint64(cfg.Seed), Stream: 77})
+	ref := train.NewTrace(w.Name + "-ref")
+	refEngine.Run(0, horizon, ref, false)
+
+	c := &Campaign{Cfg: cfg, Ref: ref, RefAcc: ref.FinalTrainAcc(10)}
+	cls := outcome.NewClassifier(ref)
+
+	// Pre-sample all injections (deterministic, order-independent).
+	inv := accel.NVDLAInventory()
+	sampler := fault.NewSampler(inv, rng.NewFromInt(cfg.Seed))
+	numLayers := refEngine.Replica(0).Len()
+	maxInjectIter := int(float64(w.Iters) * cfg.InjectFrac)
+	if maxInjectIter < 1 {
+		maxInjectIter = 1
+	}
+	biasRand := rng.NewFromInt(cfg.Seed ^ 0x5eed)
+	injections := make([]fault.Injection, cfg.Experiments)
+	for i := range injections {
+		inj := sampler.Sample(numLayers, maxInjectIter)
+		if len(cfg.BiasKinds) > 0 {
+			inj.Kind = cfg.BiasKinds[biasRand.Intn(len(cfg.BiasKinds))]
+			// The fault duration distribution is a property of the FF
+			// class (feedback-loop probability); resample it for the
+			// substituted kind.
+			inj.N = inv.SampleDuration(inj.Kind, biasRand)
+		}
+		if len(cfg.BiasPasses) > 0 {
+			inj.Pass = cfg.BiasPasses[biasRand.Intn(len(cfg.BiasPasses))]
+		}
+		injections[i] = inj
+	}
+
+	c.Records = make([]Record, cfg.Experiments)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range injections {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c.Records[i] = runOne(w, injections[i], horizon, cfg.Seed, cls)
+		}(i)
+	}
+	wg.Wait()
+	for i := range c.Records {
+		c.Tally.Add(c.Records[i].Outcome)
+	}
+	return c
+}
+
+// runOne executes a single FI experiment.
+func runOne(w *workloads.Workload, inj fault.Injection, horizon int, seed int64, cls *outcome.Classifier) Record {
+	e := w.NewEngine(rng.Seed{State: uint64(seed), Stream: 77}) // same seed as reference
+	e.SetInjection(&inj)
+	det := detect.New(detect.Derive(detect.ConfigForModel(e.Replica(0), w.BatchSize(), w.LR)))
+
+	rec := Record{Injection: inj, NonFiniteIter: -1, DetectIter: -1, Masked: true}
+	trace := train.NewTrace(w.Name)
+	for iter := 0; iter < horizon; iter++ {
+		st := e.RunIteration(iter)
+		trace.TrainLoss = append(trace.TrainLoss, st.Loss)
+		trace.TrainAcc = append(trace.TrainAcc, st.TrainAcc)
+		trace.Completed++
+		if st.Injected {
+			trace.FaultIter = iter
+			rec.InjectedElems = st.InjectedElems
+			rec.Masked = st.InjectedElems == 0
+		}
+		if iter == inj.Iteration {
+			rec.HistAtT = e.HistoryAbsMax()
+			rec.MvarAtT = e.MvarAbsMax()
+		}
+		if iter == inj.Iteration+1 {
+			rec.HistAtT1 = e.HistoryAbsMax()
+			rec.MvarAtT1 = e.MvarAbsMax()
+		}
+		if rec.DetectIter == -1 && iter >= inj.Iteration {
+			if a := det.CheckEngine(e); a != nil {
+				rec.DetectIter = iter
+			}
+		}
+		if w.TestEvery > 0 && (iter+1)%w.TestEvery == 0 {
+			_, ta := e.Evaluate(0)
+			trace.TestIters = append(trace.TestIters, iter)
+			trace.TestAcc = append(trace.TestAcc, ta)
+			trace.TestLoss = append(trace.TestLoss, 0)
+		}
+		if st.NonFinite && trace.NonFiniteIter == -1 {
+			trace.NonFiniteIter = iter
+			trace.NonFiniteAt = st.NonFiniteAt
+			break // error message terminates the experiment (Sec 3.3)
+		}
+	}
+	rec.Outcome = cls.Classify(trace, inj.Pass)
+	rec.FinalTrainAcc = trace.FinalTrainAcc(10)
+	rec.FinalTestAcc = trace.FinalTestAcc()
+	rec.NonFiniteIter = trace.NonFiniteIter
+	return rec
+}
+
+// ConditionRange aggregates the Table-4 measurement for one outcome class.
+type ConditionRange struct {
+	// Hist is the range of max |gradient history| observed at iterations
+	// t / t+1 across experiments with this outcome.
+	Hist stats.Range
+	// Mvar is the corresponding moving-variance range.
+	Mvar stats.Range
+}
+
+// ConditionRanges computes Table 4: for every latent/short-term outcome, the
+// range of necessary-condition values observed within two iterations of the
+// fault.
+func (c *Campaign) ConditionRanges() map[outcome.Outcome]*ConditionRange {
+	out := make(map[outcome.Outcome]*ConditionRange)
+	for i := range c.Records {
+		r := &c.Records[i]
+		o := r.Outcome
+		if !o.IsLatent() && o != outcome.ShortTermINFNaN {
+			continue
+		}
+		cr := out[o]
+		if cr == nil {
+			cr = &ConditionRange{}
+			out[o] = cr
+		}
+		// An overflowed history/mvar value reads as +Inf; record it as the
+		// float32 maximum — "magnitude very close to the max floating point
+		// value" is precisely the paper's short-term INF/NaN condition
+		// (Sec 4.2.2, Table 4's 2.9e38–3.0e38 band).
+		clamp := func(v float64) float64 {
+			if math.IsInf(v, 0) || v > math.MaxFloat32 {
+				return math.MaxFloat32
+			}
+			return v
+		}
+		if h := clamp(math.Max(r.HistAtT, r.HistAtT1)); h > 0 {
+			cr.Hist.Observe(h)
+		}
+		if m := clamp(math.Max(r.MvarAtT, r.MvarAtT1)); m > 0 {
+			cr.Mvar.Observe(m)
+		}
+	}
+	return out
+}
+
+// FFStat is the per-FF-class contribution record (Sec 4.3.1).
+type FFStat struct {
+	Kind       accel.FFKind
+	Total      int
+	Unexpected int
+}
+
+// FFContribution breaks down unexpected outcomes by FF class.
+func (c *Campaign) FFContribution() []FFStat {
+	byKind := map[accel.FFKind]*FFStat{}
+	for i := range c.Records {
+		r := &c.Records[i]
+		s := byKind[r.Injection.Kind]
+		if s == nil {
+			s = &FFStat{Kind: r.Injection.Kind}
+			byKind[r.Injection.Kind] = s
+		}
+		s.Total++
+		if r.Outcome.IsUnexpected() {
+			s.Unexpected++
+		}
+	}
+	var out []FFStat
+	for _, s := range byKind {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// UnexpectedShareOfKinds returns the fraction of all unexpected outcomes
+// contributed by the given FF kinds — used to reproduce the Sec 4.3.1
+// claims (e.g. groups 1+3 + local control: 55.7%–68.5%).
+func (c *Campaign) UnexpectedShareOfKinds(kinds ...accel.FFKind) float64 {
+	want := map[accel.FFKind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var totalUnexpected, fromKinds int
+	for i := range c.Records {
+		r := &c.Records[i]
+		if !r.Outcome.IsUnexpected() {
+			continue
+		}
+		totalUnexpected++
+		if want[r.Injection.Kind] {
+			fromKinds++
+		}
+	}
+	if totalUnexpected == 0 {
+		return 0
+	}
+	return float64(fromKinds) / float64(totalUnexpected)
+}
+
+// DetectionCoverage reports how many latent/short-term outcomes the bounds
+// detector flagged, and the worst detection latency (iterations from fault
+// to alarm). The paper's technique guarantees latency ≤ 2.
+func (c *Campaign) DetectionCoverage() (detected, total, maxLatency int) {
+	for i := range c.Records {
+		r := &c.Records[i]
+		if !(r.Outcome.IsLatent() || r.Outcome == outcome.ShortTermINFNaN) {
+			continue
+		}
+		total++
+		if r.DetectIter >= 0 {
+			detected++
+			if lat := r.DetectIter - r.Injection.Iteration; lat > maxLatency {
+				maxLatency = lat
+			}
+		}
+	}
+	return detected, total, maxLatency
+}
+
+// OutcomesByLayer splits outcome counts by the injected layer index —
+// the paper's layer-position sensitivity analysis (Table 5 row 2: the
+// early-layer effect is observed only for SlowDegrade in training).
+func (c *Campaign) OutcomesByLayer() map[int]*outcome.Tally {
+	out := map[int]*outcome.Tally{}
+	for i := range c.Records {
+		r := &c.Records[i]
+		t := out[r.Injection.LayerIdx]
+		if t == nil {
+			t = &outcome.Tally{}
+			out[r.Injection.LayerIdx] = t
+		}
+		t.Add(r.Outcome)
+	}
+	return out
+}
+
+// MaskedFraction returns the share of injections whose corruption was
+// entirely value-preserving (hardware masking, Sec 2).
+func (c *Campaign) MaskedFraction() float64 {
+	if len(c.Records) == 0 {
+		return 0
+	}
+	var n int
+	for i := range c.Records {
+		if c.Records[i].Masked {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.Records))
+}
+
+// DetectionLatencies returns the detection latency (iterations from fault
+// to alarm) of every bounds-detected experiment.
+func (c *Campaign) DetectionLatencies() []int {
+	var out []int
+	for i := range c.Records {
+		r := &c.Records[i]
+		if r.DetectIter >= 0 {
+			out = append(out, r.DetectIter-r.Injection.Iteration)
+		}
+	}
+	return out
+}
+
+// OutcomesByPass splits outcome counts by the pass the fault was injected
+// into (Fig 4's forward/backward distinction).
+func (c *Campaign) OutcomesByPass() map[fault.Pass]*outcome.Tally {
+	out := map[fault.Pass]*outcome.Tally{}
+	for i := range c.Records {
+		r := &c.Records[i]
+		t := out[r.Injection.Pass]
+		if t == nil {
+			t = &outcome.Tally{}
+			out[r.Injection.Pass] = t
+		}
+		t.Add(r.Outcome)
+	}
+	return out
+}
+
+// Report writes a Fig-3-style outcome breakdown with Wilson confidence
+// intervals.
+func (c *Campaign) Report(w io.Writer) {
+	fmt.Fprintf(w, "workload %s: %d experiments, fault-free final acc %.3f\n",
+		c.Cfg.Workload.Name, c.Tally.Total, c.RefAcc)
+	for _, o := range outcome.All() {
+		n := c.Tally.Counts[o]
+		if n == 0 {
+			continue
+		}
+		p := stats.WilsonInterval(n, c.Tally.Total, 0.99)
+		fmt.Fprintf(w, "  %-18s %5d  %6.2f%%  (99%% CI %.2f%%–%.2f%%)\n",
+			o, n, 100*p.P, 100*p.Lo, 100*p.Hi)
+	}
+	fmt.Fprintf(w, "  %-18s        %6.2f%%\n", "unexpected-total", 100*c.Tally.UnexpectedFraction())
+}

@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"sort"
+
+	"repro/internal/accel"
+)
+
+// HardeningRow describes one FF class in a selective-hardening plan.
+type HardeningRow struct {
+	Kind accel.FFKind
+	// PopulationFrac is the class's share of all FFs (the hardening cost).
+	PopulationFrac float64
+	// UnexpectedShare is the class's share of all unexpected outcomes in
+	// the campaign (the hardening benefit).
+	UnexpectedShare float64
+	// Density is benefit per cost: UnexpectedShare / PopulationFrac.
+	Density float64
+	// CumulativeCost and CumulativeCoverage describe the Pareto frontier
+	// when classes are hardened in density order up to and including this
+	// row.
+	CumulativeCost     float64
+	CumulativeCoverage float64
+}
+
+// HardeningPlan ranks FF classes by unexpected-outcome density — the
+// selective FF-hardening guidance the paper derives from its Sec 4.3.1
+// contribution analysis ("our results in Sec 4.3.1 can guide which FFs to
+// harden"). Hardening classes in the returned order maximizes outcome
+// coverage per hardened FF.
+func (c *Campaign) HardeningPlan(inv *accel.Inventory) []HardeningRow {
+	var totalUnexpected int
+	byKind := map[accel.FFKind]int{}
+	for i := range c.Records {
+		r := &c.Records[i]
+		if r.Outcome.IsUnexpected() {
+			totalUnexpected++
+			byKind[r.Injection.Kind]++
+		}
+	}
+	if totalUnexpected == 0 {
+		return nil
+	}
+	var rows []HardeningRow
+	for _, k := range accel.Kinds() {
+		n := byKind[k]
+		if n == 0 {
+			continue
+		}
+		share := float64(n) / float64(totalUnexpected)
+		pop := inv.Fraction[k]
+		row := HardeningRow{Kind: k, PopulationFrac: pop, UnexpectedShare: share}
+		if pop > 0 {
+			row.Density = share / pop
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Density > rows[j].Density })
+	var cost, cover float64
+	for i := range rows {
+		cost += rows[i].PopulationFrac
+		cover += rows[i].UnexpectedShare
+		rows[i].CumulativeCost = cost
+		rows[i].CumulativeCoverage = cover
+	}
+	return rows
+}

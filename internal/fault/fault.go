@@ -1,0 +1,385 @@
+// Package fault implements the fault-injection framework: the hardware
+// fault model (a single-cycle bit flip in a single FF, Sec 3.2.1), the
+// software fault models that translate FF bit flips into tensor-level
+// corruptions (Table 1 plus the FIdelity-style datapath/local-control
+// models), and the sampler that draws random injection sites for
+// statistical campaigns (Sec 3.3).
+//
+// Table 1 defines the corruption targets generically: Layer_Output means
+// "output neurons in forward pass, input gradients or weight gradients in
+// backward pass". Apply therefore operates on any tensor plus the
+// accelerator Schedule describing how that tensor is computed, and the
+// training engine points it at forward outputs, input gradients, or weight
+// gradients according to the sampled injection site.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/numerics"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Pass identifies which training computation the fault lands in.
+type Pass int
+
+// Injection passes. Table 3 distinguishes faults in the forward pass from
+// faults in the backward pass; the backward pass itself splits into the
+// input-gradient and weight-gradient operations (Table 1 definitions).
+const (
+	Forward Pass = iota
+	BackwardInput
+	BackwardWeight
+)
+
+// String implements fmt.Stringer.
+func (p Pass) String() string {
+	switch p {
+	case Forward:
+		return "forward"
+	case BackwardInput:
+		return "backward-input-grad"
+	case BackwardWeight:
+		return "backward-weight-grad"
+	}
+	return fmt.Sprintf("pass(%d)", int(p))
+}
+
+// Injection fully describes one fault-injection experiment: where the bit
+// flip occurs (FF kind, layer, pass, iteration, cycle) and the sampled
+// micro-parameters of the corresponding software fault model. All fields
+// are plain values so an Injection can be recorded and replayed — the
+// repository equivalent of the paper artifact's injection config files.
+type Injection struct {
+	// Kind is the FF class the flipped FF belongs to.
+	Kind accel.FFKind
+	// LayerIdx is the index of the targeted layer in the model.
+	LayerIdx int
+	// Pass selects forward / backward-input / backward-weight.
+	Pass Pass
+	// Iteration is the global training iteration during which the flip
+	// occurs.
+	Iteration int
+	// CycleFrac in [0,1) positions the flip within the operation; the
+	// concrete start cycle is CycleFrac × schedule.Cycles(), resolved when
+	// the target tensor's shape is known.
+	CycleFrac float64
+	// N is the number of consecutive cycles the fault persists (1 unless
+	// the FF sits in a feedback loop).
+	N int
+	// Unit is the affected MAC unit for single-unit models.
+	Unit int
+	// DeltaFrac in (0,1) parameterizes address corruption as a fraction of
+	// the width dimension.
+	DeltaFrac float64
+	// BitPos is the flipped bit for datapath models (0..31).
+	BitPos uint
+	// Source is where the corrupted input fetch originates for the
+	// input-side models (groups 5–10). Table 1 distinguishes the two: a
+	// fault on the DRAM path persists for n consecutive cycles, while a
+	// fault on the on-chip buffer path affects only one cycle.
+	Source FetchSource
+	// Seed drives the random faulty values of the dynamic-range models, so
+	// replaying the same Injection reproduces identical corruption.
+	Seed rng.Seed
+}
+
+// FetchSource identifies the memory path of an input fetch.
+type FetchSource int
+
+// Input fetch sources (Table 1).
+const (
+	// FromDRAM: the fault affects n consecutive fetch cycles.
+	FromDRAM FetchSource = iota
+	// FromOnChip: the fault affects exactly one cycle.
+	FromOnChip
+)
+
+// String implements fmt.Stringer.
+func (s FetchSource) String() string {
+	if s == FromOnChip {
+		return "on-chip"
+	}
+	return "dram"
+}
+
+// effectiveN returns the cycle span the fault persists for, applying the
+// Table-1 source rule to the input-side models.
+func (inj *Injection) effectiveN() int {
+	switch inj.Kind {
+	case accel.GlobalG5, accel.GlobalG6, accel.GlobalG7, accel.GlobalG8,
+		accel.GlobalG9, accel.GlobalG10:
+		if inj.Source == FromOnChip {
+			return 1
+		}
+	}
+	return inj.N
+}
+
+// Result reports what a corruption did to a tensor.
+type Result struct {
+	// Indices are the flat positions whose values changed (or were
+	// rewritten with equal values — hardware masking).
+	Indices []int
+	// NewValues[i] is the value written at Indices[i].
+	NewValues []float32
+	// Masked is true when the corruption was entirely value-preserving.
+	Masked bool
+}
+
+// Describe renders a one-line summary of the injection for logs.
+func (inj *Injection) Describe() string {
+	return fmt.Sprintf("%v @ layer %d %v iter %d (n=%d, bit=%d)",
+		inj.Kind, inj.LayerIdx, inj.Pass, inj.Iteration, inj.N, inj.BitPos)
+}
+
+// Apply corrupts t according to the injection's software fault model.
+// chanAxis identifies the tensor's channel dimension for the accelerator
+// schedule (1 for activations/gradients in NCHW or [B,U], 0 for weight
+// gradients [K,...]). It returns the corruption footprint.
+func (inj *Injection) Apply(t *tensor.Tensor, chanAxis int) Result {
+	sched := accel.NewSchedule(t.Shape, chanAxis)
+	r := rng.New(inj.Seed)
+	start := int(inj.CycleFrac * float64(sched.Cycles()))
+	if start >= sched.Cycles() {
+		start = sched.Cycles() - 1
+	}
+	width := sched.Width()
+	delta := 1
+	if width > 1 {
+		delta = 1 + int(inj.DeltaFrac*float64(width-1))
+		if delta >= width {
+			delta = width - 1
+		}
+	}
+
+	var res Result
+	write := func(idx int, v float32) {
+		old := t.Data[idx]
+		t.Data[idx] = v
+		res.Indices = append(res.Indices, idx)
+		res.NewValues = append(res.NewValues, v)
+		if old != v {
+			res.Masked = false
+		}
+	}
+	res.Masked = true
+
+	switch inj.Kind {
+	case accel.DatapathOther:
+		// FIdelity-style: a single-cycle flip of one non-upper-exponent bit
+		// of one datapath register corrupts one output element.
+		idx := r.Intn(t.Len())
+		bit := inj.BitPos
+		if numerics.IsUpperExponentBit(bit) {
+			bit = (bit + 3) % 29 // remap into the non-upper-exponent bits
+		}
+		write(idx, numerics.FlipBit32(t.Data[idx], bit))
+
+	case accel.DatapathUpperExponent:
+		// The flip lands in exponent bit 29 or 30 (Sec 4.3.1's dominant
+		// datapath contributors).
+		idx := r.Intn(t.Len())
+		bit := uint(29)
+		if inj.BitPos%2 == 1 {
+			bit = 30
+		}
+		write(idx, numerics.FlipBit32(t.Data[idx], bit))
+
+	case accel.LocalControl:
+		// A local control FF drives one datapath register; its corruption
+		// follows that register across the fault window: the same MAC
+		// unit's output takes arbitrary values for n cycles.
+		for c := start; c < start+inj.N && c < sched.Cycles(); c++ {
+			if idx, ok := sched.UnitOutputAt(c, inj.Unit); ok {
+				write(idx, accel.RandomDynamicRangeValue(r))
+			}
+		}
+
+	case accel.GlobalG1:
+		// All 16 MAC outputs take random dynamic-range values for n cycles.
+		for _, idx := range sched.OutputsInWindow(start, inj.N) {
+			write(idx, accel.RandomDynamicRangeValue(r))
+		}
+
+	case accel.GlobalG2:
+		// Valid→invalid: the window's outputs are zeroed.
+		for _, idx := range sched.OutputsInWindow(start, inj.N) {
+			write(idx, 0)
+		}
+
+	case accel.GlobalG3:
+		// One MAC unit produces random dynamic-range values for n cycles.
+		for c := start; c < start+inj.N && c < sched.Cycles(); c++ {
+			if idx, ok := sched.UnitOutputAt(c, inj.Unit); ok {
+				write(idx, accel.RandomDynamicRangeValue(r))
+			}
+		}
+
+	case accel.GlobalG4:
+		// Outputs written to wrong memory locations while maintaining
+		// relative positions: each affected cycle's outputs land at a
+		// shifted width position; the correct locations retain stale buffer
+		// content (modeled as zero).
+		for c := start; c < start+inj.N && c < sched.Cycles(); c++ {
+			moveCycleOutputs(t, sched, c, delta, write)
+		}
+
+	case accel.GlobalG5, accel.GlobalG6:
+		// Inputs read from wrong memory addresses while maintaining
+		// relative positions: the affected outputs take the values that
+		// wrong-window inputs would produce — plausible-magnitude wrong
+		// values, modeled as the outputs of a shifted width position. The
+		// span follows the Table-1 source rule (n cycles from DRAM, one
+		// from on-chip buffers).
+		for c := start; c < start+inj.effectiveN() && c < sched.Cycles(); c++ {
+			copyFromShifted(t, sched, c, delta, write)
+		}
+
+	case accel.GlobalG7, accel.GlobalG8:
+		// Input valid→... inputs forced to zero: the affected outputs lose
+		// all input contributions and become zero.
+		for _, idx := range sched.OutputsInWindow(start, inj.effectiveN()) {
+			write(idx, 0)
+		}
+
+	case accel.GlobalG9, accel.GlobalG10:
+		// Inputs reuse a stale random slice: all affected outputs take the
+		// values of one fixed (random) width position.
+		src := r.Intn(width)
+		for c := start; c < start+inj.effectiveN() && c < sched.Cycles(); c++ {
+			copyFromFixed(t, sched, c, src, write)
+		}
+
+	default:
+		panic(fmt.Sprintf("fault: unknown FF kind %v", inj.Kind))
+	}
+	return res
+}
+
+// moveCycleOutputs implements the G4 relocation for one cycle.
+func moveCycleOutputs(t *tensor.Tensor, sched *accel.Schedule, cycle, delta int, write func(int, float32)) {
+	width := sched.Width()
+	pos := cycle % width
+	wrong := (pos + delta) % width
+	group := cycle / width
+	lo := group * accel.MACUnits
+	hi := lo + accel.MACUnits
+	if hi > sched.Channels() {
+		hi = sched.Channels()
+	}
+	for ch := lo; ch < hi; ch++ {
+		srcIdx := sched.IndexOf(ch, pos)
+		dstIdx := sched.IndexOf(ch, wrong)
+		v := t.Data[srcIdx]
+		write(dstIdx, v)
+		write(srcIdx, 0) // stale buffer content at the abandoned address
+	}
+}
+
+// copyFromShifted overwrites one cycle's outputs with the values of a
+// width-shifted position (G5/G6).
+func copyFromShifted(t *tensor.Tensor, sched *accel.Schedule, cycle, delta int, write func(int, float32)) {
+	width := sched.Width()
+	pos := cycle % width
+	src := (pos + delta) % width
+	group := cycle / width
+	lo := group * accel.MACUnits
+	hi := lo + accel.MACUnits
+	if hi > sched.Channels() {
+		hi = sched.Channels()
+	}
+	for ch := lo; ch < hi; ch++ {
+		write(sched.IndexOf(ch, pos), t.Data[sched.IndexOf(ch, src)])
+	}
+}
+
+// copyFromFixed overwrites one cycle's outputs with a fixed source
+// position's values (G9/G10).
+func copyFromFixed(t *tensor.Tensor, sched *accel.Schedule, cycle, src int, write func(int, float32)) {
+	width := sched.Width()
+	pos := cycle % width
+	group := cycle / width
+	lo := group * accel.MACUnits
+	hi := lo + accel.MACUnits
+	if hi > sched.Channels() {
+		hi = sched.Channels()
+	}
+	for ch := lo; ch < hi; ch++ {
+		write(sched.IndexOf(ch, pos), t.Data[sched.IndexOf(ch, src)])
+	}
+}
+
+// ExpandIntermittent models an intermittent hardware failure — the class
+// the paper's introduction describes ("when running the same workload 10
+// times on a faulty machine, the unexpected outcome was only observed 3
+// times"). The base injection's fault re-manifests on each of the `repeat`
+// iterations starting at base.Iteration, independently with probability
+// prob; each manifestation gets its own derived value seed. The returned
+// slice is deterministic in (base.Seed, repeat, prob).
+//
+// Sec 4.3.2 argues the single-fault necessary conditions carry over to
+// multiple/intermittent failures; arming the expansion on an engine lets
+// that claim be tested directly.
+func ExpandIntermittent(base Injection, repeat int, prob float64) []Injection {
+	if repeat < 1 {
+		panic("fault: intermittent repeat must be >= 1")
+	}
+	if prob <= 0 || prob > 1 {
+		panic("fault: intermittent probability must be in (0, 1]")
+	}
+	r := rng.New(base.Seed).Split(0x1f7e)
+	var out []Injection
+	for k := 0; k < repeat; k++ {
+		if r.Float64() >= prob {
+			continue
+		}
+		inj := base
+		inj.Iteration = base.Iteration + k
+		inj.Seed = rng.Seed{State: r.Uint64(), Stream: r.Uint64() >> 1}
+		out = append(out, inj)
+	}
+	return out
+}
+
+// Sampler draws random injections for a statistical campaign. Each call
+// implements step (1) of the paper's experiment procedure: "randomly select
+// an FF and a cycle to indicate where and when a bit-flip is to be
+// injected" (Sec 3.3), generalized over layers, passes and iterations.
+type Sampler struct {
+	inv *accel.Inventory
+	r   *rng.Rand
+}
+
+// NewSampler creates a sampler over the given inventory.
+func NewSampler(inv *accel.Inventory, r *rng.Rand) *Sampler {
+	return &Sampler{inv: inv, r: r}
+}
+
+// Sample draws one injection targeting a random layer in [0, numLayers), a
+// random pass, and a random iteration in [0, maxIter).
+func (s *Sampler) Sample(numLayers, maxIter int) Injection {
+	kind := s.inv.SampleKind(s.r)
+	pass := Pass(s.r.Intn(3))
+	inj := Injection{
+		Kind:      kind,
+		LayerIdx:  s.r.Intn(numLayers),
+		Pass:      pass,
+		Iteration: s.r.Intn(maxIter),
+		CycleFrac: s.r.Float64(),
+		N:         s.inv.SampleDuration(kind, s.r),
+		Unit:      s.r.Intn(accel.MACUnits),
+		DeltaFrac: s.r.Float64(),
+		BitPos:    uint(s.r.Intn(32)),
+		Seed:      rng.Seed{State: s.r.Uint64(), Stream: s.r.Uint64() >> 1},
+	}
+	// Derive the fetch source from an already-drawn bit rather than a new
+	// draw, so adding the source distinction did not perturb the sampler's
+	// stream (campaign reproducibility across versions).
+	if inj.Seed.State>>17&1 == 1 {
+		inj.Source = FromOnChip
+	}
+	return inj
+}

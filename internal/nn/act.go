@@ -1,0 +1,194 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation. The paper notes activation
+// functions as a masking mechanism: "a faulty value ... is set to 0 by the
+// activation function" (Sec 2), which ReLU does for negative corruption.
+type ReLU struct {
+	lastMask []bool
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	if cap(r.lastMask) < x.Len() {
+		r.lastMask = make([]bool, x.Len())
+	}
+	r.lastMask = r.lastMask[:x.Len()]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.lastMask[i] = true
+		} else {
+			r.lastMask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(gradOut.Shape...)
+	for i, pass := range r.lastMask {
+		if pass {
+			gradIn.Data[i] = gradOut.Data[i]
+		}
+	}
+	return gradIn
+}
+
+// Tanh activation.
+type Tanh struct {
+	lastOut *tensor.Tensor
+}
+
+// NewTanh creates a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	t.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(gradOut.Shape...)
+	for i, g := range gradOut.Data {
+		y := t.lastOut.Data[i]
+		gradIn.Data[i] = g * (1 - y*y)
+	}
+	return gradIn
+}
+
+// GELU is the Gaussian error linear unit (tanh approximation), used by the
+// Transformer workload.
+type GELU struct {
+	lastX *tensor.Tensor
+}
+
+// NewGELU creates a GELU layer.
+func NewGELU() *GELU { return &GELU{} }
+
+// Name implements Layer.
+func (g *GELU) Name() string { return "gelu" }
+
+// Params implements Layer.
+func (g *GELU) Params() []*Param { return nil }
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+func geluForward(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(geluC*(x+0.044715*x*x*x)))
+}
+
+func geluGrad(x float64) float64 {
+	inner := geluC * (x + 0.044715*x*x*x)
+	t := math.Tanh(inner)
+	dInner := geluC * (1 + 3*0.044715*x*x)
+	return 0.5*(1+t) + 0.5*x*(1-t*t)*dInner
+}
+
+// Forward implements Layer.
+func (g *GELU) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	g.lastX = x
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = float32(geluForward(float64(v)))
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GELU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(gradOut.Shape...)
+	for i, gv := range gradOut.Data {
+		gradIn.Data[i] = gv * float32(geluGrad(float64(g.lastX.Data[i])))
+	}
+	return gradIn
+}
+
+// Dropout zeroes each element with probability P during training and scales
+// the survivors by 1/(1−P) (inverted dropout). The mask is drawn from
+// ctx.Rand, which the engine derives deterministically per iteration so that
+// re-execution (Sec 5.2) reproduces identical masks.
+type Dropout struct {
+	P        float32
+	lastMask []float32
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float32) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0,1)")
+	}
+	return &Dropout{P: p}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return "dropout" }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	if ctx == nil || !ctx.Training || d.P == 0 {
+		d.lastMask = nil
+		return x
+	}
+	if ctx.Rand == nil {
+		panic("nn: dropout requires ctx.Rand during training")
+	}
+	out := tensor.New(x.Shape...)
+	if cap(d.lastMask) < x.Len() {
+		d.lastMask = make([]float32, x.Len())
+	}
+	d.lastMask = d.lastMask[:x.Len()]
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if ctx.Rand.Float32() < d.P {
+			d.lastMask[i] = 0
+		} else {
+			d.lastMask[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.lastMask == nil {
+		return gradOut
+	}
+	gradIn := tensor.New(gradOut.Shape...)
+	for i, g := range gradOut.Data {
+		gradIn.Data[i] = g * d.lastMask[i]
+	}
+	return gradIn
+}

@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW input with a per-output-channel
+// bias. The MAC products can be computed in bfloat16 (Mixed), mirroring the
+// modeled accelerator.
+type Conv2D struct {
+	name  string
+	K     *Param // kernel [OutC, InC, KH, KW]
+	B     *Param // bias [OutC]
+	Par   tensor.ConvParams
+	Mixed bool
+	lastX *tensor.Tensor
+}
+
+// NewConv2D creates a convolution layer with He-normal initialization.
+func NewConv2D(name string, inC, outC, kh, kw, stride, padding int, r *rng.Rand, mixed bool) *Conv2D {
+	c := &Conv2D{
+		name:  name,
+		K:     newParam(name+"/kernel", outC, inC, kh, kw),
+		B:     newParam(name+"/bias", outC),
+		Par:   tensor.ConvParams{KH: kh, KW: kw, Stride: stride, Padding: padding},
+		Mixed: mixed,
+	}
+	fanIn := float64(inC * kh * kw)
+	c.K.Value.FillNormal(r, 0, math.Sqrt(2.0/fanIn))
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.K, c.B} }
+
+// FanIn returns the number of partial sums per output neuron (N_l in
+// Algorithm 1): InC*KH*KW.
+func (c *Conv2D) FanIn() int {
+	return c.K.Value.Shape[1] * c.Par.KH * c.Par.KW
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	checkRank(c.name, x, 4)
+	c.lastX = x
+	y := tensor.Conv2D(x, c.K.Value, c.Par, c.Mixed)
+	// Add per-channel bias.
+	n, k := y.Shape[0], y.Shape[1]
+	spatial := y.Shape[2] * y.Shape[3]
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < k; ch++ {
+			bias := c.B.Value.Data[ch]
+			base := (b*k + ch) * spatial
+			for i := 0; i < spatial; i++ {
+				y.Data[base+i] += bias
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	checkRank(c.name+" backward", gradOut, 4)
+	gradIn, gradK := tensor.Conv2DBackward(c.lastX, c.K.Value, gradOut, c.Par, c.Mixed)
+	c.K.Grad.AddInPlace(gradK)
+	n, k := gradOut.Shape[0], gradOut.Shape[1]
+	spatial := gradOut.Shape[2] * gradOut.Shape[3]
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < k; ch++ {
+			base := (b*k + ch) * spatial
+			var sum float32
+			for i := 0; i < spatial; i++ {
+				sum += gradOut.Data[base+i]
+			}
+			c.B.Grad.Data[ch] += sum
+		}
+	}
+	return gradIn
+}
+
+// MaxPool2D is a max pooling layer over NCHW input.
+type MaxPool2D struct {
+	Size, Stride int
+	lastX        *tensor.Tensor
+	argmax       []int // flat input index chosen for each output element
+	outShape     []int
+}
+
+// NewMaxPool2D creates a max-pool layer with square window size and stride.
+func NewMaxPool2D(size, stride int) *MaxPool2D {
+	return &MaxPool2D{Size: size, Stride: stride}
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return "maxpool" }
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	checkRank("maxpool", x, 4)
+	m.lastX = x
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-m.Size)/m.Stride + 1
+	ow := (w-m.Size)/m.Stride + 1
+	out := tensor.New(n, c, oh, ow)
+	m.argmax = make([]int, out.Len())
+	m.outShape = out.Shape
+	oi := 0
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			plane := ((b*c + ch) * h) * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := -1
+					for ky := 0; ky < m.Size; ky++ {
+						for kx := 0; kx < m.Size; kx++ {
+							iy := oy*m.Stride + ky
+							ix := ox*m.Stride + kx
+							idx := plane + iy*w + ix
+							if v := x.Data[idx]; v > best || bestIdx == -1 {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					m.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(m.lastX.Shape...)
+	for oi, idx := range m.argmax {
+		gradIn.Data[idx] += gradOut.Data[oi]
+	}
+	return gradIn
+}
+
+// GlobalAvgPool averages each channel's spatial plane: [B,C,H,W] → [B,C].
+type GlobalAvgPool struct {
+	lastShape []int
+}
+
+// NewGlobalAvgPool creates the layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return "gap" }
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	checkRank("gap", x, 4)
+	g.lastShape = append(g.lastShape[:0], x.Shape...)
+	n, c := x.Shape[0], x.Shape[1]
+	spatial := x.Shape[2] * x.Shape[3]
+	out := tensor.New(n, c)
+	inv := 1 / float32(spatial)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * spatial
+			var sum float32
+			for i := 0; i < spatial; i++ {
+				sum += x.Data[base+i]
+			}
+			out.Data[b*c+ch] = sum * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, c := g.lastShape[0], g.lastShape[1]
+	spatial := g.lastShape[2] * g.lastShape[3]
+	gradIn := tensor.New(g.lastShape...)
+	inv := 1 / float32(spatial)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			gv := gradOut.Data[b*c+ch] * inv
+			base := (b*c + ch) * spatial
+			for i := 0; i < spatial; i++ {
+				gradIn.Data[base+i] = gv
+			}
+		}
+	}
+	return gradIn
+}

@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·W + b for x of shape [B, In].
+type Dense struct {
+	name string
+	W    *Param // [In, Out]
+	B    *Param // [Out]
+	// Mixed selects bfloat16 MAC precision (the modeled accelerator's
+	// matrix unit) for the forward and backward matrix multiplies.
+	Mixed bool
+
+	lastX *tensor.Tensor
+}
+
+// NewDense creates a Dense layer with He-normal initialized weights
+// (Property 1 of Algorithm 1 assumes variance-preserving initialization).
+func NewDense(name string, in, out int, r *rng.Rand, mixed bool) *Dense {
+	d := &Dense{name: name, W: newParam(name+"/kernel", in, out), B: newParam(name+"/bias", out), Mixed: mixed}
+	std := math.Sqrt(2.0 / float64(in))
+	d.W.Value.FillNormal(r, 0, std)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// FanIn returns the number of partial sums accumulated per output neuron
+// (N_l in Algorithm 1).
+func (d *Dense) FanIn() int { return d.W.Value.Shape[0] }
+
+// Forward implements Layer.
+func (d *Dense) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	checkRank(d.name, x, 2)
+	d.lastX = x
+	var y *tensor.Tensor
+	if d.Mixed {
+		y = tensor.MatMulMixed(x, d.W.Value)
+	} else {
+		y = tensor.MatMul(x, d.W.Value)
+	}
+	out := y.Shape[1]
+	for i := 0; i < y.Shape[0]; i++ {
+		row := y.Data[i*out : (i+1)*out]
+		for j := range row {
+			row[j] += d.B.Value.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	checkRank(d.name+" backward", gradOut, 2)
+	x := d.lastX
+	// dW = xᵀ · gradOut ; db = column sums of gradOut ; dx = gradOut · Wᵀ.
+	xT := tensor.Transpose2D(x)
+	var dW, dX *tensor.Tensor
+	if d.Mixed {
+		dW = tensor.MatMulMixed(xT, gradOut)
+		dX = tensor.MatMulMixed(gradOut, tensor.Transpose2D(d.W.Value))
+	} else {
+		dW = tensor.MatMul(xT, gradOut)
+		dX = tensor.MatMul(gradOut, tensor.Transpose2D(d.W.Value))
+	}
+	d.W.Grad.AddInPlace(dW)
+	out := gradOut.Shape[1]
+	for i := 0; i < gradOut.Shape[0]; i++ {
+		for j := 0; j < out; j++ {
+			d.B.Grad.Data[j] += gradOut.Data[i*out+j]
+		}
+	}
+	return dX
+}
+
+// Flatten reshapes any input [B, ...] to [B, F]. It has no parameters.
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten creates a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	f.lastShape = append(f.lastShape[:0], x.Shape...)
+	features := 1
+	for _, s := range x.Shape[1:] {
+		features *= s
+	}
+	return x.Reshape(x.Shape[0], features)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(f.lastShape...)
+}

@@ -1,0 +1,160 @@
+// Package nn implements the neural-network layers of the training framework
+// with manually written forward and backward passes.
+//
+// The paper's fault-injection methodology requires manual backward passes:
+// "In order to inject faults to the backward pass and also correctly
+// propagate the error effects, we manually implemented the backward pass for
+// each DNN workload" (Artifact A.1). Every layer here therefore exposes an
+// explicit Backward method; there is no autodiff tape. This also gives the
+// fault injector natural interception points: the output tensor of every
+// layer in the forward pass, and the input-gradient/weight-gradient tensors
+// in the backward pass — exactly the tensors the Table-1 software fault
+// models corrupt.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Context carries per-step execution state into the forward pass.
+type Context struct {
+	// Training selects batch statistics (true) vs moving statistics (false)
+	// in normalization layers, and enables dropout.
+	Training bool
+	// Rand supplies randomness (dropout masks). The training engine derives
+	// it deterministically from (seed, iteration, device) so that
+	// re-execution reproduces the same masks — requirement (3) of the
+	// paper's recovery technique (Sec 5.2).
+	Rand *rng.Rand
+}
+
+// Param is a trainable parameter with its accumulated gradient.
+type Param struct {
+	// Name is stable across runs ("conv1/kernel"); detection and ABFT key
+	// their state by it.
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module.
+//
+// Forward consumes the input tensor and returns the output; implementations
+// cache whatever they need for Backward. Backward consumes dL/d(output) and
+// returns dL/d(input), accumulating dL/d(param) into each Param's Grad.
+// A Layer processes exactly one Forward/Backward pair at a time.
+type Layer interface {
+	// Name returns a short stable identifier used in fault-injection
+	// records and reports.
+	Name() string
+	Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Sequential chains layers. It is the model container the training engine
+// iterates over; the fault injector addresses layers by their index in a
+// Sequential.
+type Sequential struct {
+	Layers []*NamedLayer
+}
+
+// NamedLayer pairs a layer with its position-stable name.
+type NamedLayer struct {
+	Layer Layer
+}
+
+// NewSequential builds a model from layers in order.
+func NewSequential(layers ...Layer) *Sequential {
+	s := &Sequential{}
+	for _, l := range layers {
+		s.Layers = append(s.Layers, &NamedLayer{Layer: l})
+	}
+	return s
+}
+
+// Len returns the number of top-level layers.
+func (s *Sequential) Len() int { return len(s.Layers) }
+
+// Params returns all parameters of all layers, in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, nl := range s.Layers {
+		ps = append(ps, nl.Layer.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ForwardHook observes/replaces the output of layer i during the forward
+// pass. The fault injector uses it to corrupt layer outputs (Table 1 models
+// 1–4 and datapath models); returning a different tensor substitutes it.
+type ForwardHook func(layerIdx int, out *tensor.Tensor) *tensor.Tensor
+
+// BackwardHook observes/replaces the input-gradient produced by layer i
+// during the backward pass (Table 1 corruption of "input gradients ...
+// in backward pass").
+type BackwardHook func(layerIdx int, gradIn *tensor.Tensor) *tensor.Tensor
+
+// Forward runs the full forward pass. hook may be nil.
+func (s *Sequential) Forward(ctx *Context, x *tensor.Tensor, hook ForwardHook) *tensor.Tensor {
+	for i, nl := range s.Layers {
+		x = nl.Layer.Forward(ctx, x)
+		if hook != nil {
+			if replaced := hook(i, x); replaced != nil {
+				x = replaced
+			}
+		}
+	}
+	return x
+}
+
+// Backward runs the full backward pass from the loss gradient. hook may be
+// nil. It returns the gradient with respect to the model input (rarely
+// needed, but useful in tests).
+func (s *Sequential) Backward(grad *tensor.Tensor, hook BackwardHook) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Layer.Backward(grad)
+		if hook != nil {
+			if replaced := hook(i, grad); replaced != nil {
+				grad = replaced
+			}
+		}
+	}
+	return grad
+}
+
+// LayerNames lists layer names in order, for reports.
+func (s *Sequential) LayerNames() []string {
+	names := make([]string, len(s.Layers))
+	for i, nl := range s.Layers {
+		names[i] = fmt.Sprintf("%d:%s", i, nl.Layer.Name())
+	}
+	return names
+}
+
+// checkShape panics with a descriptive message when a layer receives an
+// input of the wrong rank. Shape errors are programming bugs, not runtime
+// conditions, hence panic rather than error returns.
+func checkRank(layer string, x *tensor.Tensor, rank int) {
+	if len(x.Shape) != rank {
+		panic(fmt.Sprintf("nn: %s expects rank-%d input, got shape %v", layer, rank, x.Shape))
+	}
+}

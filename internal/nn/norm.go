@@ -1,0 +1,265 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm implements batch normalization over NCHW input (per-channel) or
+// [B,F] input (per-feature, treated as C channels with a 1×1 plane).
+//
+// The moving variance (mvar) kept by this layer is the history term at the
+// center of the paper's analysis: large absolute mvar values are the
+// necessary condition for the SharpDegrade, LowTestAccuracy and short-term
+// INF/NaN outcomes (Table 4), because mvar carries fault effects across
+// iterations: mvar ← decay·mvar + (1−decay)·batchVar (Sec 4.2.2).
+//
+// During training the forward pass normalizes with batch statistics (so the
+// *training* accuracy does not see mvar), while evaluation normalizes with
+// the moving statistics — which is precisely why a corrupted mvar produces
+// the LowTestAccuracy outcome: "training accuracy appears normal, but test
+// accuracy shows visible degradation" (Table 3).
+type BatchNorm struct {
+	name string
+	// Gamma and Beta are the learned scale and shift, one per channel.
+	Gamma, Beta *Param
+	// Momentum is the decay factor applied to the moving statistics
+	// (0.9 for most workloads, 0.99 for Resnet_LargeDecay in Table 2).
+	Momentum float32
+	// Eps stabilizes the variance denominator.
+	Eps float32
+	// MovingMean and MovingVar are the inference-time statistics. They are
+	// not trained by the optimizer; they are updated in the forward pass.
+	MovingMean, MovingVar *tensor.Tensor
+
+	// forward caches
+	lastX     *tensor.Tensor
+	lastXhat  *tensor.Tensor
+	lastMean  []float32
+	lastVar   []float32
+	lastShape []int
+	was2D     bool
+}
+
+// NewBatchNorm creates a BatchNorm layer over c channels.
+func NewBatchNorm(name string, c int, momentum float32) *BatchNorm {
+	bn := &BatchNorm{
+		name:       name,
+		Gamma:      newParam(name+"/gamma", c),
+		Beta:       newParam(name+"/beta", c),
+		Momentum:   momentum,
+		Eps:        1e-5,
+		MovingMean: tensor.New(c),
+		MovingVar:  tensor.New(c),
+	}
+	bn.Gamma.Value.Fill(1)
+	bn.MovingVar.Fill(1)
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm) Name() string { return bn.name }
+
+// Params implements Layer.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// Channels returns the number of normalized channels.
+func (bn *BatchNorm) Channels() int { return bn.Gamma.Value.Len() }
+
+// to4D views x as NCHW; [B,F] becomes [B,F,1,1].
+func (bn *BatchNorm) to4D(x *tensor.Tensor) *tensor.Tensor {
+	switch len(x.Shape) {
+	case 4:
+		bn.was2D = false
+		return x
+	case 2:
+		bn.was2D = true
+		return x.Reshape(x.Shape[0], x.Shape[1], 1, 1)
+	default:
+		panic("nn: BatchNorm expects rank-2 or rank-4 input")
+	}
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm) Forward(ctx *Context, xIn *tensor.Tensor) *tensor.Tensor {
+	x := bn.to4D(xIn)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if c != bn.Channels() {
+		panic("nn: BatchNorm channel mismatch")
+	}
+	bn.lastX = x
+	bn.lastShape = x.Shape
+
+	var mean, variance []float32
+	if ctx == nil || ctx.Training {
+		mean, variance = tensor.ChannelMoments(x)
+		// Update moving statistics: the history-term recurrence of
+		// Sec 4.2.2. Note the faulty-batch-variance propagation path: a
+		// large |batchVar| (from corrupted inputs) inflates mvar here and
+		// persists across iterations.
+		for ch := 0; ch < c; ch++ {
+			bn.MovingMean.Data[ch] = bn.Momentum*bn.MovingMean.Data[ch] + (1-bn.Momentum)*mean[ch]
+			bn.MovingVar.Data[ch] = bn.Momentum*bn.MovingVar.Data[ch] + (1-bn.Momentum)*variance[ch]
+		}
+	} else {
+		mean = bn.MovingMean.Data
+		variance = bn.MovingVar.Data
+	}
+	bn.lastMean, bn.lastVar = mean, variance
+
+	out := tensor.New(x.Shape...)
+	xhat := tensor.New(x.Shape...)
+	spatial := h * w
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			invStd := 1 / float32(math.Sqrt(float64(variance[ch]+bn.Eps)))
+			g, be, m := bn.Gamma.Value.Data[ch], bn.Beta.Value.Data[ch], mean[ch]
+			base := (b*c + ch) * spatial
+			for i := 0; i < spatial; i++ {
+				xh := (x.Data[base+i] - m) * invStd
+				xhat.Data[base+i] = xh
+				out.Data[base+i] = g*xh + be
+			}
+		}
+	}
+	bn.lastXhat = xhat
+	if bn.was2D {
+		return out.Reshape(n, c)
+	}
+	return out
+}
+
+// Backward implements Layer. Standard batch-norm gradient using batch
+// statistics:
+//
+//	dx = gamma/std * (dy − mean(dy) − xhat·mean(dy·xhat))
+func (bn *BatchNorm) Backward(gradOutIn *tensor.Tensor) *tensor.Tensor {
+	gradOut := gradOutIn
+	if bn.was2D {
+		gradOut = gradOutIn.Reshape(bn.lastShape...)
+	}
+	n, c, h, w := bn.lastShape[0], bn.lastShape[1], bn.lastShape[2], bn.lastShape[3]
+	spatial := h * w
+	count := float32(n * spatial)
+	gradIn := tensor.New(bn.lastShape...)
+	for ch := 0; ch < c; ch++ {
+		invStd := 1 / float32(math.Sqrt(float64(bn.lastVar[ch]+bn.Eps)))
+		var sumDy, sumDyXhat float32
+		for b := 0; b < n; b++ {
+			base := (b*c + ch) * spatial
+			for i := 0; i < spatial; i++ {
+				dy := gradOut.Data[base+i]
+				sumDy += dy
+				sumDyXhat += dy * bn.lastXhat.Data[base+i]
+			}
+		}
+		bn.Beta.Grad.Data[ch] += sumDy
+		bn.Gamma.Grad.Data[ch] += sumDyXhat
+		meanDy := sumDy / count
+		meanDyXhat := sumDyXhat / count
+		g := bn.Gamma.Value.Data[ch]
+		for b := 0; b < n; b++ {
+			base := (b*c + ch) * spatial
+			for i := 0; i < spatial; i++ {
+				dy := gradOut.Data[base+i]
+				xh := bn.lastXhat.Data[base+i]
+				gradIn.Data[base+i] = g * invStd * (dy - meanDy - xh*meanDyXhat)
+			}
+		}
+	}
+	if bn.was2D {
+		return gradIn.Reshape(n, c)
+	}
+	return gradIn
+}
+
+// LayerNorm normalizes over the last dimension of a [B, L, D] or [B, D]
+// tensor, with learned per-feature scale/shift. Used by the Transformer
+// workload; like BatchNorm's mvar, it has no cross-iteration history, so the
+// Transformer's history terms live only in the optimizer (which is why the
+// paper's Transformer experiments show the gradient-history-driven outcomes
+// rather than the mvar-driven ones).
+type LayerNorm struct {
+	name        string
+	Gamma, Beta *Param
+	Eps         float32
+
+	lastXhat   *tensor.Tensor
+	lastInvStd []float32
+	lastShape  []int
+}
+
+// NewLayerNorm creates a LayerNorm over feature dimension d.
+func NewLayerNorm(name string, d int) *LayerNorm {
+	ln := &LayerNorm{name: name, Gamma: newParam(name+"/gamma", d), Beta: newParam(name+"/beta", d), Eps: 1e-5}
+	ln.Gamma.Value.Fill(1)
+	return ln
+}
+
+// Name implements Layer.
+func (ln *LayerNorm) Name() string { return ln.name }
+
+// Params implements Layer.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gamma, ln.Beta} }
+
+// Forward implements Layer.
+func (ln *LayerNorm) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	d := ln.Gamma.Value.Len()
+	if x.Shape[len(x.Shape)-1] != d {
+		panic("nn: LayerNorm feature dimension mismatch")
+	}
+	rows := x.Len() / d
+	ln.lastShape = append([]int(nil), x.Shape...)
+	ln.lastXhat = tensor.New(rows, d)
+	ln.lastInvStd = make([]float32, rows)
+	out := tensor.New(x.Shape...)
+	for r := 0; r < rows; r++ {
+		base := r * d
+		var sum, sumsq float64
+		for i := 0; i < d; i++ {
+			v := float64(x.Data[base+i])
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / float64(d)
+		variance := sumsq/float64(d) - mean*mean
+		invStd := float32(1 / math.Sqrt(variance+float64(ln.Eps)))
+		ln.lastInvStd[r] = invStd
+		for i := 0; i < d; i++ {
+			xh := (x.Data[base+i] - float32(mean)) * invStd
+			ln.lastXhat.Data[base+i] = xh
+			out.Data[base+i] = ln.Gamma.Value.Data[i]*xh + ln.Beta.Value.Data[i]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (ln *LayerNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	d := ln.Gamma.Value.Len()
+	rows := gradOut.Len() / d
+	gradIn := tensor.New(ln.lastShape...)
+	for r := 0; r < rows; r++ {
+		base := r * d
+		var sumDxh, sumDxhXhat float32
+		for i := 0; i < d; i++ {
+			dy := gradOut.Data[base+i]
+			xh := ln.lastXhat.Data[base+i]
+			ln.Beta.Grad.Data[i] += dy
+			ln.Gamma.Grad.Data[i] += dy * xh
+			dxh := dy * ln.Gamma.Value.Data[i]
+			sumDxh += dxh
+			sumDxhXhat += dxh * xh
+		}
+		meanDxh := sumDxh / float32(d)
+		meanDxhXhat := sumDxhXhat / float32(d)
+		invStd := ln.lastInvStd[r]
+		for i := 0; i < d; i++ {
+			dxh := gradOut.Data[base+i] * ln.Gamma.Value.Data[i]
+			xh := ln.lastXhat.Data[base+i]
+			gradIn.Data[base+i] = invStd * (dxh - meanDxh - xh*meanDxhXhat)
+		}
+	}
+	return gradIn
+}

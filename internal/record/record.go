@@ -1,0 +1,346 @@
+// Package record serializes traces, injections, and campaign results so
+// experiments can be archived, diffed, and replayed — the repository
+// counterpart of the paper artifact's replay_inj_*.txt output files and
+// injection config CSVs.
+//
+// Two formats are provided:
+//
+//   - JSON for full-fidelity round trips (traces, injections, campaign
+//     records), and
+//   - the artifact's line-oriented text format for traces ("iter N loss L
+//     acc A"), which is convenient to eyeball and to plot.
+package record
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+// InjectionJSON is the serializable form of a fault injection. It is a
+// plain mirror of fault.Injection with stable field names, so recorded
+// experiments survive refactors of the internal type.
+type InjectionJSON struct {
+	Kind      string  `json:"kind"`
+	LayerIdx  int     `json:"layer"`
+	Pass      string  `json:"pass"`
+	Iteration int     `json:"iteration"`
+	CycleFrac float64 `json:"cycle_frac"`
+	N         int     `json:"n"`
+	Unit      int     `json:"unit"`
+	DeltaFrac float64 `json:"delta_frac"`
+	BitPos    uint    `json:"bit_pos"`
+	Source    string  `json:"source,omitempty"`
+	SeedState uint64  `json:"seed_state"`
+	SeedStrm  uint64  `json:"seed_stream"`
+}
+
+// kindToName and passToName give stable serialization names.
+var kindToName = map[accel.FFKind]string{
+	accel.DatapathOther: "datapath", accel.DatapathUpperExponent: "upper-exp",
+	accel.LocalControl: "local",
+	accel.GlobalG1:     "g1", accel.GlobalG2: "g2", accel.GlobalG3: "g3",
+	accel.GlobalG4: "g4", accel.GlobalG5: "g5", accel.GlobalG6: "g6",
+	accel.GlobalG7: "g7", accel.GlobalG8: "g8", accel.GlobalG9: "g9",
+	accel.GlobalG10: "g10",
+}
+
+var passToName = map[fault.Pass]string{
+	fault.Forward: "forward", fault.BackwardInput: "backward-input",
+	fault.BackwardWeight: "backward-weight",
+}
+
+// KindFromName resolves a serialized FF kind name.
+func KindFromName(name string) (accel.FFKind, error) {
+	for k, n := range kindToName {
+		if n == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("record: unknown FF kind %q", name)
+}
+
+// PassFromName resolves a serialized pass name.
+func PassFromName(name string) (fault.Pass, error) {
+	for p, n := range passToName {
+		if n == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("record: unknown pass %q", name)
+}
+
+// EncodeInjection converts an injection to its serializable form.
+func EncodeInjection(inj fault.Injection) InjectionJSON {
+	return InjectionJSON{
+		Kind: kindToName[inj.Kind], LayerIdx: inj.LayerIdx,
+		Pass: passToName[inj.Pass], Iteration: inj.Iteration,
+		CycleFrac: inj.CycleFrac, N: inj.N, Unit: inj.Unit,
+		DeltaFrac: inj.DeltaFrac, BitPos: inj.BitPos,
+		Source:    inj.Source.String(),
+		SeedState: inj.Seed.State, SeedStrm: inj.Seed.Stream,
+	}
+}
+
+// DecodeInjection converts the serialized form back.
+func DecodeInjection(j InjectionJSON) (fault.Injection, error) {
+	kind, err := KindFromName(j.Kind)
+	if err != nil {
+		return fault.Injection{}, err
+	}
+	pass, err := PassFromName(j.Pass)
+	if err != nil {
+		return fault.Injection{}, err
+	}
+	source := fault.FromDRAM
+	switch j.Source {
+	case "", "dram":
+	case "on-chip":
+		source = fault.FromOnChip
+	default:
+		return fault.Injection{}, fmt.Errorf("record: unknown fetch source %q", j.Source)
+	}
+	return fault.Injection{
+		Kind: kind, LayerIdx: j.LayerIdx, Pass: pass, Iteration: j.Iteration,
+		CycleFrac: j.CycleFrac, N: j.N, Unit: j.Unit, DeltaFrac: j.DeltaFrac,
+		BitPos: j.BitPos, Source: source,
+		Seed: rng.Seed{State: j.SeedState, Stream: j.SeedStrm},
+	}, nil
+}
+
+// WriteInjectionJSON serializes an injection to w.
+func WriteInjectionJSON(w io.Writer, inj fault.Injection) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(EncodeInjection(inj))
+}
+
+// ReadInjectionJSON parses an injection from r.
+func ReadInjectionJSON(r io.Reader) (fault.Injection, error) {
+	var j InjectionJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return fault.Injection{}, fmt.Errorf("record: parsing injection: %w", err)
+	}
+	return DecodeInjection(j)
+}
+
+// TraceJSON is the serializable form of a training trace.
+type TraceJSON struct {
+	Workload      string    `json:"workload"`
+	FaultIter     int       `json:"fault_iter"`
+	TrainLoss     []float64 `json:"train_loss"`
+	TrainAcc      []float64 `json:"train_acc"`
+	TestIters     []int     `json:"test_iters,omitempty"`
+	TestAcc       []float64 `json:"test_acc,omitempty"`
+	TestLoss      []float64 `json:"test_loss,omitempty"`
+	NonFiniteIter int       `json:"non_finite_iter"`
+	NonFiniteAt   string    `json:"non_finite_at,omitempty"`
+	Completed     int       `json:"completed"`
+}
+
+// WriteTraceJSON serializes a trace to w.
+func WriteTraceJSON(w io.Writer, t *train.Trace) error {
+	j := TraceJSON{
+		Workload: t.Workload, FaultIter: t.FaultIter,
+		TrainLoss: t.TrainLoss, TrainAcc: t.TrainAcc,
+		TestIters: t.TestIters, TestAcc: t.TestAcc, TestLoss: t.TestLoss,
+		NonFiniteIter: t.NonFiniteIter, NonFiniteAt: t.NonFiniteAt,
+		Completed: t.Completed,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadTraceJSON parses a trace from r.
+func ReadTraceJSON(r io.Reader) (*train.Trace, error) {
+	var j TraceJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("record: parsing trace: %w", err)
+	}
+	t := train.NewTrace(j.Workload)
+	t.FaultIter = j.FaultIter
+	t.TrainLoss = j.TrainLoss
+	t.TrainAcc = j.TrainAcc
+	t.TestIters = j.TestIters
+	t.TestAcc = j.TestAcc
+	t.TestLoss = j.TestLoss
+	t.NonFiniteIter = j.NonFiniteIter
+	t.NonFiniteAt = j.NonFiniteAt
+	t.Completed = j.Completed
+	return t, nil
+}
+
+// WriteTraceText writes the artifact-style line format:
+//
+//	# workload resnet fault_iter 40
+//	iter 0 loss 1.3862 acc 0.2500
+//	...
+//	test 99 loss 0.4210 acc 0.8750
+//	nan 41 loss@device0
+func WriteTraceText(w io.Writer, t *train.Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# workload %s fault_iter %d\n", t.Workload, t.FaultIter)
+	for i := range t.TrainLoss {
+		fmt.Fprintf(bw, "iter %d loss %.6g acc %.6g\n", i, t.TrainLoss[i], t.TrainAcc[i])
+	}
+	for i, it := range t.TestIters {
+		fmt.Fprintf(bw, "test %d loss %.6g acc %.6g\n", it, t.TestLoss[i], t.TestAcc[i])
+	}
+	if t.NonFiniteIter >= 0 {
+		fmt.Fprintf(bw, "nan %d %s\n", t.NonFiniteIter, t.NonFiniteAt)
+	}
+	return bw.Flush()
+}
+
+// ReadTraceText parses the artifact-style line format.
+func ReadTraceText(r io.Reader) (*train.Trace, error) {
+	sc := bufio.NewScanner(r)
+	t := train.NewTrace("")
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "#":
+			// "# workload NAME fault_iter N"
+			for i := 1; i+1 < len(fields); i += 2 {
+				switch fields[i] {
+				case "workload":
+					t.Workload = fields[i+1]
+				case "fault_iter":
+					v, err := strconv.Atoi(fields[i+1])
+					if err != nil {
+						return nil, fmt.Errorf("record: line %d: bad fault_iter: %w", lineNo, err)
+					}
+					t.FaultIter = v
+				}
+			}
+		case "iter":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("record: line %d: malformed iter line", lineNo)
+			}
+			loss, err1 := strconv.ParseFloat(fields[3], 64)
+			acc, err2 := strconv.ParseFloat(fields[5], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("record: line %d: bad numbers", lineNo)
+			}
+			t.TrainLoss = append(t.TrainLoss, loss)
+			t.TrainAcc = append(t.TrainAcc, acc)
+			t.Completed++
+		case "test":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("record: line %d: malformed test line", lineNo)
+			}
+			it, err0 := strconv.Atoi(fields[1])
+			loss, err1 := strconv.ParseFloat(fields[3], 64)
+			acc, err2 := strconv.ParseFloat(fields[5], 64)
+			if err0 != nil || err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("record: line %d: bad numbers", lineNo)
+			}
+			t.TestIters = append(t.TestIters, it)
+			t.TestLoss = append(t.TestLoss, loss)
+			t.TestAcc = append(t.TestAcc, acc)
+		case "nan":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("record: line %d: malformed nan line", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("record: line %d: bad nan iter: %w", lineNo, err)
+			}
+			t.NonFiniteIter = v
+			if len(fields) >= 3 {
+				t.NonFiniteAt = fields[2]
+			}
+		default:
+			return nil, fmt.Errorf("record: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("record: reading trace: %w", err)
+	}
+	return t, nil
+}
+
+// CampaignRecordJSON is the serializable form of one campaign experiment.
+type CampaignRecordJSON struct {
+	Injection     InjectionJSON `json:"injection"`
+	Outcome       string        `json:"outcome"`
+	FinalTrainAcc float64       `json:"final_train_acc"`
+	FinalTestAcc  float64       `json:"final_test_acc"`
+	NonFiniteIter int           `json:"non_finite_iter"`
+	HistAtT       float64       `json:"hist_at_t"`
+	HistAtT1      float64       `json:"hist_at_t1"`
+	MvarAtT       float64       `json:"mvar_at_t"`
+	MvarAtT1      float64       `json:"mvar_at_t1"`
+	DetectIter    int           `json:"detect_iter"`
+	InjectedElems int           `json:"injected_elems"`
+	Masked        bool          `json:"masked"`
+}
+
+// CampaignJSON is the serializable form of a campaign summary.
+type CampaignJSON struct {
+	Workload    string               `json:"workload"`
+	Experiments int                  `json:"experiments"`
+	Seed        int64                `json:"seed"`
+	RefAcc      float64              `json:"ref_acc"`
+	Records     []CampaignRecordJSON `json:"records"`
+}
+
+// WriteCampaignJSON serializes a campaign to w.
+func WriteCampaignJSON(w io.Writer, c *experiment.Campaign) error {
+	j := CampaignJSON{
+		Workload:    c.Cfg.Workload.Name,
+		Experiments: c.Cfg.Experiments,
+		Seed:        c.Cfg.Seed,
+		RefAcc:      c.RefAcc,
+	}
+	for i := range c.Records {
+		r := &c.Records[i]
+		j.Records = append(j.Records, CampaignRecordJSON{
+			Injection:     EncodeInjection(r.Injection),
+			Outcome:       r.Outcome.String(),
+			FinalTrainAcc: r.FinalTrainAcc,
+			FinalTestAcc:  r.FinalTestAcc,
+			NonFiniteIter: r.NonFiniteIter,
+			HistAtT:       r.HistAtT, HistAtT1: r.HistAtT1,
+			MvarAtT: r.MvarAtT, MvarAtT1: r.MvarAtT1,
+			DetectIter:    r.DetectIter,
+			InjectedElems: r.InjectedElems,
+			Masked:        r.Masked,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// WriteCampaignCSV writes one row per experiment for spreadsheet analysis.
+func WriteCampaignCSV(w io.Writer, c *experiment.Campaign) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "kind,layer,pass,iteration,n,outcome,final_train_acc,final_test_acc,non_finite_iter,hist_at_t,hist_at_t1,mvar_at_t,mvar_at_t1,detect_iter,injected_elems,masked")
+	for i := range c.Records {
+		r := &c.Records[i]
+		fmt.Fprintf(bw, "%s,%d,%s,%d,%d,%s,%.6g,%.6g,%d,%.6g,%.6g,%.6g,%.6g,%d,%d,%v\n",
+			kindToName[r.Injection.Kind], r.Injection.LayerIdx,
+			passToName[r.Injection.Pass], r.Injection.Iteration, r.Injection.N,
+			r.Outcome, r.FinalTrainAcc, r.FinalTestAcc, r.NonFiniteIter,
+			r.HistAtT, r.HistAtT1, r.MvarAtT, r.MvarAtT1,
+			r.DetectIter, r.InjectedElems, r.Masked)
+	}
+	return bw.Flush()
+}

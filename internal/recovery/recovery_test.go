@@ -1,0 +1,268 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/data"
+	"repro/internal/detect"
+	"repro/internal/fault"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+func buildEngine(t testing.TB) *train.Engine {
+	t.Helper()
+	ds := data.NewGaussianClusters(data.GaussianClustersConfig{
+		Classes: 4, Examples: 256, C: 1, H: 4, W: 4, NoiseStd: 0.4, Seed: 3,
+	})
+	trainSet, testSet := ds.Split(192)
+	loader := data.NewLoader(trainSet, 16, rng.Seed{State: 4, Stream: 4})
+	build := func(r *rng.Rand) *nn.Sequential {
+		return nn.NewSequential(
+			nn.NewFlatten(),
+			nn.NewDense("d1", 16, 32, r, false),
+			nn.NewBatchNorm("bn1", 32, 0.9),
+			nn.NewReLU(),
+			nn.NewDense("d2", 32, 4, r, false),
+		)
+	}
+	return train.New(train.Config{Devices: 2, PerDeviceBatch: 8, Seed: rng.Seed{State: 8, Stream: 8}, TestEvery: 20},
+		build, opt.NewAdam(0.01), loader, testSet)
+}
+
+func detectorFor(e *train.Engine) *detect.Detector {
+	return detect.New(detect.Derive(detect.ConfigForModel(e.Replica(0), 16, 0.01)))
+}
+
+func TestReExecutorRollbackTwoIterations(t *testing.T) {
+	e := buildEngine(t)
+	r := NewReExecutor(e)
+	for i := 0; i < 5; i++ {
+		r.BeforeIteration(i)
+		e.RunIteration(i)
+	}
+	if r.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", r.Depth())
+	}
+	resume := r.Rollback()
+	if resume != 3 {
+		t.Fatalf("Rollback resumed from %d, want 3 (two iterations back)", resume)
+	}
+}
+
+func TestReExecutorRollbackOneIteration(t *testing.T) {
+	e := buildEngine(t)
+	r := NewReExecutor(e)
+	r.BeforeIteration(0)
+	e.RunIteration(0)
+	if resume := r.Rollback(); resume != 0 {
+		t.Fatalf("single-snapshot rollback resumed from %d", resume)
+	}
+}
+
+func TestReExecutorPanicsWithoutSnapshot(t *testing.T) {
+	e := buildEngine(t)
+	r := NewReExecutor(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rollback without snapshots did not panic")
+		}
+	}()
+	r.Rollback()
+}
+
+func TestRollbackThenReplayIsExact(t *testing.T) {
+	// Train 5 iterations recording losses; rollback 2; re-executing must
+	// reproduce the exact same losses (requirement for a correct recovery).
+	e := buildEngine(t)
+	r := NewReExecutor(e)
+	var losses []float64
+	for i := 0; i < 5; i++ {
+		r.BeforeIteration(i)
+		losses = append(losses, e.RunIteration(i).Loss)
+	}
+	resume := r.Rollback()
+	for i := resume; i < 5; i++ {
+		if got := e.RunIteration(i).Loss; got != losses[i] {
+			t.Fatalf("replayed iter %d loss %v != original %v", i, got, losses[i])
+		}
+	}
+}
+
+// injectLatent arms a backward-pass G1 fault that corrupts Adam history.
+func injectLatent(e *train.Engine, iter int) {
+	e.SetInjection(&fault.Injection{
+		Kind: accel.GlobalG1, LayerIdx: 4, Pass: fault.BackwardWeight,
+		Iteration: iter, CycleFrac: 0, N: 8,
+		Seed: rng.Seed{State: 21, Stream: 4},
+	})
+}
+
+func TestGuardedDetectsAndRecovers(t *testing.T) {
+	e := buildEngine(t)
+	injectLatent(e, 10)
+	g := NewGuarded(e, detectorFor(e))
+	trace := train.NewTrace("guarded")
+	if err := g.Run(0, 40, trace); err != nil {
+		t.Fatalf("guarded run failed: %v", err)
+	}
+	if len(g.Events) == 0 {
+		t.Fatal("fault was not detected")
+	}
+	ev := g.Events[0]
+	if ev.Iteration < 10 || ev.Iteration > 12 {
+		t.Fatalf("detection at iter %d, want within 2 iterations of fault at 10", ev.Iteration)
+	}
+	if ev.ResumedFrom > ev.Iteration || ev.Iteration-ev.ResumedFrom > 2 {
+		t.Fatalf("resumed from %d after alarm at %d; rewind must be <= 2 iterations", ev.ResumedFrom, ev.Iteration)
+	}
+	if g.Unrecoverable {
+		t.Fatal("transient fault reported unrecoverable")
+	}
+	// After recovery, training must be clean and converge.
+	if trace.Completed != 40 {
+		t.Fatalf("completed %d iterations, want 40", trace.Completed)
+	}
+	if acc := trace.FinalTrainAcc(10); acc < 0.85 {
+		t.Fatalf("post-recovery final accuracy %v", acc)
+	}
+}
+
+func TestGuardedRecoveredRunMatchesFaultFree(t *testing.T) {
+	// The recovered run's final state must match the fault-free run
+	// exactly: re-execution replays identical batches and randomness, so
+	// once the transient corruption is rolled back there is no residue.
+	eClean := buildEngine(t)
+	traceClean := train.NewTrace("clean")
+	eClean.Run(0, 30, traceClean, false)
+
+	eFaulty := buildEngine(t)
+	injectLatent(eFaulty, 10)
+	g := NewGuarded(eFaulty, detectorFor(eFaulty))
+	traceRec := train.NewTrace("recovered")
+	if err := g.Run(0, 30, traceRec); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Events) == 0 {
+		t.Skip("fault not detected by bounds (seed-dependent); covered elsewhere")
+	}
+	cleanParams := eClean.Replica(0).Params()
+	recParams := eFaulty.Replica(0).Params()
+	for pi := range cleanParams {
+		for j := range cleanParams[pi].Value.Data {
+			if cleanParams[pi].Value.Data[j] != recParams[pi].Value.Data[j] {
+				t.Fatalf("recovered weights differ from fault-free at %s[%d]", cleanParams[pi].Name, j)
+			}
+		}
+	}
+}
+
+func TestGuardedNoFalseRecoveriesOnCleanRun(t *testing.T) {
+	e := buildEngine(t)
+	g := NewGuarded(e, detectorFor(e))
+	trace := train.NewTrace("clean-guarded")
+	if err := g.Run(0, 40, trace); err != nil {
+		t.Fatal(err)
+	}
+	if g.Recovered != 0 || len(g.Events) != 0 {
+		t.Fatalf("clean run triggered %d recoveries", g.Recovered)
+	}
+}
+
+func TestGuardedUnrecoverablePersistentCorruption(t *testing.T) {
+	// Corrupt the optimizer history directly (simulating a permanent
+	// failure whose corruption recurs); Guarded must give up after
+	// MaxRecoveries rather than loop forever.
+	e := buildEngine(t)
+	d := detectorFor(e)
+	g := NewGuarded(e, d)
+	g.MaxRecoveries = 2
+	// Run a couple of clean iterations to populate history.
+	trace := train.NewTrace("x")
+	if err := g.Run(0, 3, trace); err != nil {
+		t.Fatal(err)
+	}
+	// Permanently clamp a huge value into the history by lowering the
+	// bound below legitimate values: every check alarms.
+	g.D.Bounds.GradHistory = 0
+	g.D.Bounds.GradHistorySq = 0
+	if err := g.Run(3, 10, trace); err == nil {
+		t.Fatal("persistent alarm did not abort")
+	}
+	if !g.Unrecoverable {
+		t.Fatal("Unrecoverable flag not set")
+	}
+}
+
+func TestGuardedHandlesNonFiniteAsAlarm(t *testing.T) {
+	e := buildEngine(t)
+	// Inject a forward G1 fault upstream of BatchNorm: variance overflow
+	// gives INF mvar, caught either by bounds or the non-finite scan.
+	e.SetInjection(&fault.Injection{
+		Kind: accel.GlobalG1, LayerIdx: 1, Pass: fault.Forward,
+		Iteration: 5, CycleFrac: 0, N: 8,
+		Seed: rng.Seed{State: 1, Stream: 5},
+	})
+	g := NewGuarded(e, detectorFor(e))
+	trace := train.NewTrace("nanfault")
+	if err := g.Run(0, 20, trace); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(g.Events) == 0 {
+		t.Fatal("INF/NaN fault not detected")
+	}
+	// The final trace must contain no non-finite losses (rolled back).
+	for i, l := range trace.TrainLoss {
+		if l != l {
+			t.Fatalf("NaN loss left in trace at %d", i)
+		}
+	}
+}
+
+func TestCheckpointer(t *testing.T) {
+	e := buildEngine(t)
+	fresh := e.Snapshot(0)
+	c := NewCheckpointer(10)
+	for i := 0; i < 25; i++ {
+		e.RunIteration(i)
+		c.AfterIteration(e, i)
+	}
+	if c.Saves != 2 {
+		t.Fatalf("Saves = %d, want 2", c.Saves)
+	}
+	if lost := c.LostIterations(25); lost != 5 {
+		t.Fatalf("LostIterations = %d, want 5", lost)
+	}
+	resume := c.Restore(e, fresh)
+	if resume != 20 {
+		t.Fatalf("Restore resumed from %d, want 20", resume)
+	}
+}
+
+func TestCheckpointerNoCheckpointRestartsFromScratch(t *testing.T) {
+	e := buildEngine(t)
+	fresh := e.Snapshot(0)
+	c := NewCheckpointer(100)
+	for i := 0; i < 5; i++ {
+		e.RunIteration(i)
+		c.AfterIteration(e, i)
+	}
+	if resume := c.Restore(e, fresh); resume != 0 {
+		t.Fatalf("resume = %d, want 0", resume)
+	}
+	if lost := c.LostIterations(5); lost != 5 {
+		t.Fatalf("lost = %d", lost)
+	}
+}
+
+func TestCheckpointerPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCheckpointer(0) did not panic")
+		}
+	}()
+	NewCheckpointer(0)
+}

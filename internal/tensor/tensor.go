@@ -1,0 +1,498 @@
+// Package tensor implements the dense numeric arrays and linear-algebra
+// kernels the training framework is built on: element-wise arithmetic,
+// matrix multiplication (FP32 and mixed bfloat16/FP32, matching the modeled
+// accelerator's MAC precision), 2-D convolution via im2col, transposes and
+// reductions.
+//
+// Layout conventions:
+//   - 4-D activation tensors are NCHW (batch, channel, height, width). The
+//     channel-major layout mirrors the modeled accelerator, whose 16 MAC
+//     units compute 16 consecutive *channels* of an output in one cycle
+//     (Table 1), so fault locations map directly onto tensor indices.
+//   - 2-D tensors are row-major [rows, cols].
+//
+// All data is float32, the element-wise precision of the accelerator; MAC
+// results can optionally be rounded through bfloat16 (see MatMulMixed).
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numerics"
+	"repro/internal/rng"
+)
+
+// Tensor is a dense row-major float32 array with an explicit shape.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero-filled tensor with the given shape. It panics on a
+// non-positive dimension: shapes are always program constants here, so a bad
+// shape is a bug, not an input error.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape, without copying.
+// It panics if the element count does not match the shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal element counts.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic("tensor: CopyFrom size mismatch")
+	}
+	copy(t.Data, src.Data)
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v", t.Shape, len(t.Data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.Shape) != len(u.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != u.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// FillNormal fills t with N(mean, std²) samples drawn from r.
+func (t *Tensor) FillNormal(r *rng.Rand, mean, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(mean + std*r.NormFloat64())
+	}
+}
+
+// FillUniform fills t with uniform samples in [lo, hi).
+func (t *Tensor) FillUniform(r *rng.Rand, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(lo + (hi-lo)*r.Float64())
+	}
+}
+
+// AddInPlace computes t += u element-wise.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: AddInPlace size mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] += u.Data[i]
+	}
+}
+
+// SubInPlace computes t -= u element-wise.
+func (t *Tensor) SubInPlace(u *Tensor) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: SubInPlace size mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] -= u.Data[i]
+	}
+}
+
+// MulInPlace computes t *= u element-wise.
+func (t *Tensor) MulInPlace(u *Tensor) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: MulInPlace size mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] *= u.Data[i]
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AxpyInPlace computes t += alpha * u.
+func (t *Tensor) AxpyInPlace(alpha float32, u *Tensor) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: AxpyInPlace size mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] += alpha * u.Data[i]
+	}
+}
+
+// Sum returns the sum of all elements in float64 to limit accumulation error.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// AbsMax returns the maximum absolute value of any element; NaN elements
+// force the result to NaN so non-finite corruption is never hidden.
+func (t *Tensor) AbsMax() float32 {
+	var m float32
+	for _, v := range t.Data {
+		if numerics.IsNaN32(v) {
+			return v
+		}
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// FirstNonFinite returns the index of the first NaN/Inf element, or -1.
+func (t *Tensor) FirstNonFinite() int { return numerics.HasNonFinite(t.Data) }
+
+// MatMul computes C = A × B for 2-D tensors A [m,k] and B [k,n] in FP32.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b)
+	c := New(m, n)
+	matmulInto(c.Data, a.Data, b.Data, m, k, n, false)
+	return c
+}
+
+// MatMulMixed computes C = A × B with each scalar product rounded through
+// bfloat16 before being accumulated in FP32 — the modeled accelerator's MAC
+// precision (Sec 3.1: "bfloat16 and FP32 are used for MAC and element-wise
+// operations, respectively").
+func MatMulMixed(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b)
+	c := New(m, n)
+	matmulInto(c.Data, a.Data, b.Data, m, k, n, true)
+	return c
+}
+
+func checkMatMul(a, b *Tensor) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v × %v", a.Shape, b.Shape))
+	}
+	if a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v × %v", a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1], b.Shape[1]
+}
+
+// matmulInto is the shared inner kernel. The ikj loop order keeps B accesses
+// sequential; with mixed=true each product is rounded to bfloat16, modeling
+// the accelerator MAC units.
+func matmulInto(c, a, b []float32, m, k, n int, mixed bool) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := a[i*k+kk]
+			if av == 0 {
+				continue
+			}
+			if mixed {
+				av = numerics.RoundBF16(av)
+			}
+			bk := b[kk*n : (kk+1)*n]
+			if mixed {
+				for j, bv := range bk {
+					ci[j] += numerics.RoundBF16(av * numerics.RoundBF16(bv))
+				}
+			} else {
+				for j, bv := range bk {
+					ci[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D requires 2-D, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return t
+}
+
+// ConvParams describes a 2-D convolution: kernel spatial size, stride and
+// symmetric zero padding.
+type ConvParams struct {
+	KH, KW  int
+	Stride  int
+	Padding int
+}
+
+// OutSize returns the output spatial size for an input of size h×w.
+func (p ConvParams) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*p.Padding-p.KH)/p.Stride + 1
+	ow = (w+2*p.Padding-p.KW)/p.Stride + 1
+	return
+}
+
+// Im2Col unfolds input [N,C,H,W] into a matrix [C*KH*KW, N*OH*OW] so that
+// convolution becomes a matrix multiply — the same lowering the modeled
+// accelerator's sequencer performs when tiling a convolution onto the MAC
+// array.
+func Im2Col(in *Tensor, p ConvParams) *Tensor {
+	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv output %dx%d is empty for input %v params %+v", oh, ow, in.Shape, p))
+	}
+	cols := New(c*p.KH*p.KW, n*oh*ow)
+	colW := n * oh * ow
+	for ch := 0; ch < c; ch++ {
+		for kh := 0; kh < p.KH; kh++ {
+			for kw := 0; kw < p.KW; kw++ {
+				row := (ch*p.KH+kh)*p.KW + kw
+				dst := cols.Data[row*colW : (row+1)*colW]
+				for b := 0; b < n; b++ {
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*p.Stride + kh - p.Padding
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*p.Stride + kw - p.Padding
+							var v float32
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								v = in.Data[((b*c+ch)*h+iy)*w+ix]
+							}
+							dst[(b*oh+oy)*ow+ox] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im folds a [C*KH*KW, N*OH*OW] matrix back into an [N,C,H,W] tensor by
+// summing overlapping contributions — the adjoint of Im2Col, used for the
+// input-gradient computation in the backward pass.
+func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
+	oh, ow := p.OutSize(h, w)
+	out := New(n, c, h, w)
+	colW := n * oh * ow
+	for ch := 0; ch < c; ch++ {
+		for kh := 0; kh < p.KH; kh++ {
+			for kw := 0; kw < p.KW; kw++ {
+				row := (ch*p.KH+kh)*p.KW + kw
+				src := cols.Data[row*colW : (row+1)*colW]
+				for b := 0; b < n; b++ {
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*p.Stride + kh - p.Padding
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*p.Stride + kw - p.Padding
+							if ix < 0 || ix >= w {
+								continue
+							}
+							out.Data[((b*c+ch)*h+iy)*w+ix] += src[(b*oh+oy)*ow+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2D computes the forward convolution of input [N,C,H,W] with kernels
+// [K,C,KH,KW], producing [N,K,OH,OW]. When mixed is true the MAC products go
+// through bfloat16 rounding.
+func Conv2D(in, kernel *Tensor, p ConvParams, mixed bool) *Tensor {
+	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	k := kernel.Shape[0]
+	if kernel.Shape[1] != c || kernel.Shape[2] != p.KH || kernel.Shape[3] != p.KW {
+		panic(fmt.Sprintf("tensor: kernel shape %v incompatible with input %v params %+v", kernel.Shape, in.Shape, p))
+	}
+	oh, ow := p.OutSize(h, w)
+	cols := Im2Col(in, p)
+	w2d := kernel.Reshape(k, c*p.KH*p.KW)
+	var out2d *Tensor
+	if mixed {
+		out2d = MatMulMixed(w2d, cols)
+	} else {
+		out2d = MatMul(w2d, cols)
+	}
+	// out2d is [K, N*OH*OW]; transpose batch to the front → [N,K,OH,OW].
+	out := New(n, k, oh, ow)
+	spatial := oh * ow
+	for kk := 0; kk < k; kk++ {
+		for b := 0; b < n; b++ {
+			srcOff := kk*(n*spatial) + b*spatial
+			dstOff := (b*k + kk) * spatial
+			copy(out.Data[dstOff:dstOff+spatial], out2d.Data[srcOff:srcOff+spatial])
+		}
+	}
+	return out
+}
+
+// Conv2DBackward computes the gradients of a convolution given the output
+// gradient [N,K,OH,OW]. It returns (gradInput [N,C,H,W], gradKernel
+// [K,C,KH,KW]). These are the "input gradient operations" and "weight
+// gradient operations" of Table 1's terminology.
+func Conv2DBackward(in, kernel, gradOut *Tensor, p ConvParams, mixed bool) (gradIn, gradKernel *Tensor) {
+	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	k := kernel.Shape[0]
+	oh, ow := p.OutSize(h, w)
+	spatial := oh * ow
+
+	// Rearrange gradOut [N,K,OH,OW] to [K, N*OH*OW].
+	g2d := New(k, n*spatial)
+	for b := 0; b < n; b++ {
+		for kk := 0; kk < k; kk++ {
+			srcOff := (b*k + kk) * spatial
+			dstOff := kk*(n*spatial) + b*spatial
+			copy(g2d.Data[dstOff:dstOff+spatial], gradOut.Data[srcOff:srcOff+spatial])
+		}
+	}
+
+	cols := Im2Col(in, p)
+
+	// gradKernel = g2d × colsᵀ  → [K, C*KH*KW].
+	colsT := Transpose2D(cols)
+	var gk2d *Tensor
+	if mixed {
+		gk2d = MatMulMixed(g2d, colsT)
+	} else {
+		gk2d = MatMul(g2d, colsT)
+	}
+	gradKernel = gk2d.Reshape(k, c, p.KH, p.KW)
+
+	// gradCols = W2dᵀ × g2d  → [C*KH*KW, N*OH*OW]; fold back to input shape.
+	w2dT := Transpose2D(kernel.Reshape(k, c*p.KH*p.KW))
+	var gcols *Tensor
+	if mixed {
+		gcols = MatMulMixed(w2dT, g2d)
+	} else {
+		gcols = MatMul(w2dT, g2d)
+	}
+	gradIn = Col2Im(gcols, n, c, h, w, p)
+	return gradIn, gradKernel
+}
+
+// ArgMaxRows returns, for a 2-D tensor [rows, cols], the column index of the
+// maximum element in each row — used to turn logits into class predictions.
+func ArgMaxRows(t *Tensor) []int {
+	if len(t.Shape) != 2 {
+		panic("tensor: ArgMaxRows requires 2-D")
+	}
+	rows, cols := t.Shape[0], t.Shape[1]
+	out := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		best, bestJ := float32(math.Inf(-1)), 0
+		for j := 0; j < cols; j++ {
+			if v := t.Data[i*cols+j]; v > best {
+				best, bestJ = v, j
+			}
+		}
+		out[i] = bestJ
+	}
+	return out
+}
+
+// ChannelMoments computes, for an NCHW tensor, the per-channel mean and
+// (population) variance over the N, H and W axes — the batch statistics a
+// BatchNorm layer consumes.
+func ChannelMoments(t *Tensor) (mean, variance []float32) {
+	n, c, h, w := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	mean = make([]float32, c)
+	variance = make([]float32, c)
+	count := float64(n * h * w)
+	for ch := 0; ch < c; ch++ {
+		var sum, sumsq float64
+		for b := 0; b < n; b++ {
+			base := ((b*c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				v := float64(t.Data[base+i])
+				sum += v
+				sumsq += v * v
+			}
+		}
+		m := sum / count
+		mean[ch] = float32(m)
+		variance[ch] = float32(sumsq/count - m*m)
+	}
+	return mean, variance
+}

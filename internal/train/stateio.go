@@ -1,0 +1,92 @@
+package train
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// stateWire is the gob wire format of a State. Tensors are flattened into
+// (shape, data) pairs to keep the format stable and independent of the
+// tensor type's internals.
+type stateWire struct {
+	Iteration int
+	Params    []tensorWire
+	OptKeys   []string
+	OptVals   [][]tensorWire
+	BNStats   [][]tensorWire
+}
+
+type tensorWire struct {
+	Shape []int
+	Data  []float32
+}
+
+func toWire(t *tensor.Tensor) tensorWire {
+	return tensorWire{Shape: append([]int(nil), t.Shape...), Data: append([]float32(nil), t.Data...)}
+}
+
+func fromWire(w tensorWire) *tensor.Tensor {
+	return tensor.FromSlice(append([]float32(nil), w.Data...), w.Shape...)
+}
+
+// Save serializes the state (weights, optimizer state, per-device
+// normalization statistics) so checkpoints can live on disk — the durable
+// variant of the in-memory snapshots the recovery techniques use.
+func (s *State) Save(w io.Writer) error {
+	wire := stateWire{Iteration: s.Iteration}
+	for _, p := range s.Params {
+		wire.Params = append(wire.Params, toWire(p))
+	}
+	for key, ts := range s.OptState {
+		wire.OptKeys = append(wire.OptKeys, key)
+		var tws []tensorWire
+		for _, t := range ts {
+			tws = append(tws, toWire(t))
+		}
+		wire.OptVals = append(wire.OptVals, tws)
+	}
+	for _, dev := range s.BNStats {
+		var tws []tensorWire
+		for _, t := range dev {
+			tws = append(tws, toWire(t))
+		}
+		wire.BNStats = append(wire.BNStats, tws)
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("train: encoding state: %w", err)
+	}
+	return nil
+}
+
+// ReadState deserializes a State written by Save.
+func ReadState(r io.Reader) (*State, error) {
+	var wire stateWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("train: decoding state: %w", err)
+	}
+	s := &State{Iteration: wire.Iteration, OptState: map[string][]*tensor.Tensor{}}
+	for _, tw := range wire.Params {
+		s.Params = append(s.Params, fromWire(tw))
+	}
+	if len(wire.OptKeys) != len(wire.OptVals) {
+		return nil, fmt.Errorf("train: corrupt state: %d keys, %d values", len(wire.OptKeys), len(wire.OptVals))
+	}
+	for i, key := range wire.OptKeys {
+		var ts []*tensor.Tensor
+		for _, tw := range wire.OptVals[i] {
+			ts = append(ts, fromWire(tw))
+		}
+		s.OptState[key] = ts
+	}
+	for _, dev := range wire.BNStats {
+		var ts []*tensor.Tensor
+		for _, tw := range dev {
+			ts = append(ts, fromWire(tw))
+		}
+		s.BNStats = append(s.BNStats, ts)
+	}
+	return s, nil
+}

@@ -1,0 +1,92 @@
+package train
+
+// Trace records the convergence trend of one training run: training loss
+// and accuracy every iteration, test accuracy every Config.TestEvery
+// iterations — the measurements the paper captures in every FI experiment
+// (Sec 3.3) and classifies into outcomes (Table 3).
+type Trace struct {
+	// Workload is a label for reports.
+	Workload string
+	// FaultIter is the iteration a fault was injected at, or -1 for a
+	// fault-free run.
+	FaultIter int
+	// TrainLoss[i] / TrainAcc[i] are the metrics of iteration i.
+	TrainLoss []float64
+	TrainAcc  []float64
+	// TestIters lists the iterations at which the test set was evaluated;
+	// TestAcc/TestLoss are parallel slices.
+	TestIters []int
+	TestAcc   []float64
+	TestLoss  []float64
+	// NonFiniteIter is the first iteration an INF/NaN error message was
+	// raised, or -1. NonFiniteAt describes the location.
+	NonFiniteIter int
+	NonFiniteAt   string
+	// InjectedElems is the number of tensor elements the fault corrupted
+	// (0 until the fault fires).
+	InjectedElems int
+	// Completed is the number of iterations actually executed.
+	Completed int
+}
+
+// NewTrace creates an empty trace.
+func NewTrace(workload string) *Trace {
+	return &Trace{Workload: workload, FaultIter: -1, NonFiniteIter: -1}
+}
+
+// FinalTrainAcc returns the mean training accuracy over the last k recorded
+// iterations (a smoothed "final accuracy"), or 0 if nothing was recorded.
+func (t *Trace) FinalTrainAcc(k int) float64 {
+	n := len(t.TrainAcc)
+	if n == 0 {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	var s float64
+	for _, a := range t.TrainAcc[n-k:] {
+		s += a
+	}
+	return s / float64(k)
+}
+
+// FinalTestAcc returns the last recorded test accuracy, or -1 if the test
+// set was never evaluated.
+func (t *Trace) FinalTestAcc() float64 {
+	if len(t.TestAcc) == 0 {
+		return -1
+	}
+	return t.TestAcc[len(t.TestAcc)-1]
+}
+
+// Run executes iterations [start, end), recording into trace. When
+// stopOnNonFinite is true the run terminates at the first INF/NaN error
+// (mirroring the paper's procedure: "continuing to train the DNN until
+// either an error message ... is encountered, or until a predefined number
+// of training iterations are completed").
+func (e *Engine) Run(start, end int, trace *Trace, stopOnNonFinite bool) {
+	for iter := start; iter < end; iter++ {
+		st := e.RunIteration(iter)
+		trace.TrainLoss = append(trace.TrainLoss, st.Loss)
+		trace.TrainAcc = append(trace.TrainAcc, st.TrainAcc)
+		if st.Injected {
+			trace.FaultIter = iter
+			trace.InjectedElems = st.InjectedElems
+		}
+		if e.cfg.TestEvery > 0 && (iter+1)%e.cfg.TestEvery == 0 {
+			tl, ta := e.Evaluate(0)
+			trace.TestIters = append(trace.TestIters, iter)
+			trace.TestLoss = append(trace.TestLoss, tl)
+			trace.TestAcc = append(trace.TestAcc, ta)
+		}
+		trace.Completed++
+		if st.NonFinite && trace.NonFiniteIter == -1 {
+			trace.NonFiniteIter = iter
+			trace.NonFiniteAt = st.NonFiniteAt
+			if stopOnNonFinite {
+				return
+			}
+		}
+	}
+}

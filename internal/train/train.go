@@ -1,0 +1,451 @@
+// Package train implements the distributed DNN training engine the
+// fault-injection experiments run on: synchronous data-parallel training
+// (Sec 2 of the paper) across a configurable number of simulated devices
+// (the paper uses 8), with per-iteration metric recording, INF/NaN
+// surfacing, fault-injection hooks, and snapshot/restore for the recovery
+// technique.
+//
+// Device semantics matter for fidelity:
+//
+//   - Every device holds a full model replica. Gradients are averaged
+//     across devices after the backward pass, so a faulty gradient produced
+//     on one device is attenuated by 1/D before reaching the weights
+//     (Sec 4.3.3).
+//   - BatchNorm moving statistics are per-device state. A fault that
+//     corrupts one device's batch variance corrupts only that device's
+//     mvar — "large absolute mvar values on a single training device"
+//     (Sec 4.3.3) — and test evaluation on that device exposes it.
+//   - All randomness derives from (seed, iteration, device), so any past
+//     iteration can be re-executed exactly (Sec 5.2 requirement 3).
+package train
+
+import (
+	"fmt"
+	"math"
+	"repro/internal/accel"
+
+	"repro/internal/data"
+	"repro/internal/fault"
+	"repro/internal/nn"
+	"repro/internal/numerics"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Devices is the number of synchronous data-parallel replicas.
+	Devices int
+	// PerDeviceBatch is the mini-batch size each device processes per
+	// iteration; the loader's batch size must equal Devices*PerDeviceBatch.
+	PerDeviceBatch int
+	// Seed drives all engine randomness (dropout, injection value streams).
+	Seed rng.Seed
+	// TestEvery evaluates test accuracy every TestEvery iterations
+	// (0 disables periodic evaluation).
+	TestEvery int
+}
+
+// BuildFunc constructs one model replica. It is called once per device with
+// an identical RNG so replicas start with identical weights.
+type BuildFunc func(r *rng.Rand) *nn.Sequential
+
+// Engine drives synchronous data-parallel training.
+type Engine struct {
+	cfg      Config
+	replicas []*nn.Sequential
+	opt      opt.Optimizer
+	loader   *data.Loader
+	testSet  *data.Dataset
+	loss     nn.SoftmaxCrossEntropy
+	seedRand *rng.Rand
+
+	injections   []*fault.Injection
+	injFired     []bool
+	injectDevice int
+
+	// ForwardMonitor, when non-nil, observes every layer output of every
+	// device during training forward passes (after any injection). It is
+	// the attachment point for activation-monitoring baselines such as
+	// range restriction (Sec 6).
+	ForwardMonitor func(device, layer int, out *tensor.Tensor)
+
+	// lastResults caches per-device loss results of the latest iteration
+	// (used by detection diagnostics).
+	lastNonFinite string
+}
+
+// New creates an engine. The loader's batch size must equal
+// cfg.Devices × cfg.PerDeviceBatch.
+func New(cfg Config, build BuildFunc, optimizer opt.Optimizer, loader *data.Loader, testSet *data.Dataset) *Engine {
+	if cfg.Devices < 1 {
+		panic("train: need at least one device")
+	}
+	if loader.BatchSize() != cfg.Devices*cfg.PerDeviceBatch {
+		panic(fmt.Sprintf("train: loader batch %d != devices %d × per-device %d",
+			loader.BatchSize(), cfg.Devices, cfg.PerDeviceBatch))
+	}
+	e := &Engine{cfg: cfg, opt: optimizer, loader: loader, testSet: testSet,
+		seedRand: rng.New(cfg.Seed)}
+	for d := 0; d < cfg.Devices; d++ {
+		// Identical init RNG per replica → identical weights.
+		e.replicas = append(e.replicas, build(rng.New(cfg.Seed).Split(0xbead)))
+	}
+	return e
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Loader returns the engine's data loader.
+func (e *Engine) Loader() *data.Loader { return e.loader }
+
+// Optimizer returns the engine's optimizer.
+func (e *Engine) Optimizer() opt.Optimizer { return e.opt }
+
+// Replica returns device d's model.
+func (e *Engine) Replica(d int) *nn.Sequential { return e.replicas[d] }
+
+// SetInjection arms a single fault injection; it fires on device 0 during
+// the iteration recorded in the injection. Pass nil to disarm.
+//
+// An injection is one-shot: the modeled failures are transient (Sec 1), so
+// once the fault has fired it does not recur — in particular, re-executing
+// the same iteration during recovery (Sec 5.2) runs clean, exactly like
+// re-running a workload on hardware after the transient condition passed.
+func (e *Engine) SetInjection(inj *fault.Injection) {
+	if inj == nil {
+		e.SetInjections(nil)
+		return
+	}
+	e.SetInjections([]fault.Injection{*inj})
+}
+
+// SetInjections arms multiple independent one-shot injections — the
+// multiple-failure scenario of Sec 4.3.2, and the expansion of an
+// intermittent fault (fault.ExpandIntermittent). Each fires at its own
+// iteration on device 0.
+func (e *Engine) SetInjections(injs []fault.Injection) {
+	e.injections = e.injections[:0]
+	e.injFired = e.injFired[:0]
+	for i := range injs {
+		inj := injs[i]
+		e.injections = append(e.injections, &inj)
+		e.injFired = append(e.injFired, false)
+	}
+	e.injectDevice = 0
+}
+
+// ctxRand returns the deterministic RNG for (iteration, device).
+func (e *Engine) ctxRand(iter, device int) *rng.Rand {
+	return e.seedRand.Split(uint64(iter)).Split(uint64(device) + 1)
+}
+
+// chanAxis returns the accelerator channel axis for an activation/gradient
+// tensor, per the dataflow compilation plan (accel.PlanFor, Sec 3.1).
+func chanAxis(shape []int) int {
+	return accel.PlanFor(accel.OpForward, shape).ChanAxis
+}
+
+// IterStats reports one training iteration.
+type IterStats struct {
+	Iteration int
+	// Loss is the mean training loss across devices; NaN if corrupted.
+	Loss float64
+	// TrainAcc is the fraction of correct predictions over the global batch.
+	TrainAcc float64
+	// NonFinite is true if an INF/NaN was observed anywhere this iteration
+	// (losses, logits, weights, or normalization statistics) — the
+	// framework's "error message" event (Sec 3.3).
+	NonFinite bool
+	// NonFiniteAt describes where the first INF/NaN was seen.
+	NonFiniteAt string
+	// Injected is true if the armed fault fired this iteration.
+	Injected bool
+	// InjectedElems counts the output elements the fault corrupted.
+	InjectedElems int
+}
+
+// RunIteration executes global iteration iter: per-device forward/backward,
+// gradient averaging, one optimizer step, and weight synchronization.
+func (e *Engine) RunIteration(iter int) IterStats {
+	stats := IterStats{Iteration: iter}
+	batch := e.loader.Batch(iter)
+	perDev := e.cfg.PerDeviceBatch
+	exLen := 1
+	for _, s := range batch.X.Shape[1:] {
+		exLen *= s
+	}
+
+	var totalLoss float64
+	var totalCorrect int
+	for d := 0; d < e.cfg.Devices; d++ {
+		// Shard the global batch.
+		lo := d * perDev
+		shardShape := append([]int{perDev}, batch.X.Shape[1:]...)
+		x := tensor.FromSlice(batch.X.Data[lo*exLen:(lo+perDev)*exLen], shardShape...)
+		y := batch.Y[lo : lo+perDev]
+
+		ctx := &nn.Context{Training: true, Rand: e.ctxRand(iter, d)}
+		model := e.replicas[d]
+
+		var fwdHook nn.ForwardHook
+		var bwdHook nn.BackwardHook
+		// Collect the injections that fire this (iteration, device),
+		// grouped by pass. An injection is one-shot: once fired it never
+		// recurs, so re-execution during recovery runs clean.
+		var fwdInjs, bwdInjs, wgtInjs []int
+		if d == e.injectDevice {
+			for i, inj := range e.injections {
+				if e.injFired[i] || inj.Iteration != iter {
+					continue
+				}
+				if inj.LayerIdx < 0 || inj.LayerIdx >= model.Len() {
+					panic(fmt.Sprintf("train: injection targets layer %d but model has %d layers", inj.LayerIdx, model.Len()))
+				}
+				switch inj.Pass {
+				case fault.Forward:
+					fwdInjs = append(fwdInjs, i)
+				case fault.BackwardInput:
+					bwdInjs = append(bwdInjs, i)
+				case fault.BackwardWeight:
+					wgtInjs = append(wgtInjs, i)
+				}
+			}
+		}
+		fire := func(i int, t *tensor.Tensor, axis int) {
+			res := e.injections[i].Apply(t, axis)
+			e.injFired[i] = true
+			stats.Injected = true
+			stats.InjectedElems += len(res.Indices)
+		}
+		if len(fwdInjs) > 0 {
+			fwdHook = func(li int, out *tensor.Tensor) *tensor.Tensor {
+				for _, i := range fwdInjs {
+					if e.injections[i].LayerIdx == li && !e.injFired[i] {
+						fire(i, out, chanAxis(out.Shape))
+					}
+				}
+				return nil
+			}
+		}
+		if len(bwdInjs) > 0 {
+			bwdHook = func(li int, grad *tensor.Tensor) *tensor.Tensor {
+				for _, i := range bwdInjs {
+					if e.injections[i].LayerIdx == li && !e.injFired[i] {
+						fire(i, grad, chanAxis(grad.Shape))
+					}
+				}
+				return nil
+			}
+		}
+
+		if e.ForwardMonitor != nil {
+			inner := fwdHook
+			dev := d
+			fwdHook = func(li int, o *tensor.Tensor) *tensor.Tensor {
+				if inner != nil {
+					if replaced := inner(li, o); replaced != nil {
+						o = replaced
+					}
+				}
+				e.ForwardMonitor(dev, li, o)
+				return o
+			}
+		}
+		out := model.Forward(ctx, x, fwdHook)
+		res := e.loss.Eval(out, y)
+		totalLoss += res.Loss
+		totalCorrect += res.Correct
+		if !stats.NonFinite && (math.IsNaN(res.Loss) || math.IsInf(res.Loss, 0)) {
+			stats.NonFinite = true
+			stats.NonFiniteAt = fmt.Sprintf("loss@device%d", d)
+		}
+		model.Backward(res.GradLogits, bwdHook)
+
+		for _, i := range wgtInjs {
+			// Corrupt the layer's primary weight-gradient tensor (the
+			// output of the weight-gradient operation on the accelerator,
+			// laid out per the transposed Sec-3.1 plan).
+			params := model.Layers[e.injections[i].LayerIdx].Layer.Params()
+			if len(params) > 0 && !e.injFired[i] {
+				plan := accel.PlanFor(accel.OpWeightGrad, params[0].Grad.Shape)
+				fire(i, params[0].Grad, plan.ChanAxis)
+			}
+		}
+	}
+
+	// Synchronous gradient averaging into replica 0.
+	base := e.replicas[0].Params()
+	inv := 1 / float32(e.cfg.Devices)
+	for pi, p := range base {
+		for d := 1; d < e.cfg.Devices; d++ {
+			p.Grad.AddInPlace(e.replicas[d].Params()[pi].Grad)
+		}
+		p.Grad.Scale(inv)
+	}
+
+	e.opt.Step(base)
+
+	// Broadcast updated weights to the other replicas and clear gradients.
+	for d := 1; d < e.cfg.Devices; d++ {
+		for pi, p := range e.replicas[d].Params() {
+			p.Value.CopyFrom(base[pi].Value)
+		}
+	}
+	for d := 0; d < e.cfg.Devices; d++ {
+		e.replicas[d].ZeroGrad()
+	}
+
+	stats.Loss = totalLoss / float64(e.cfg.Devices)
+	globalBatch := e.cfg.Devices * perDev
+	stats.TrainAcc = float64(totalCorrect) / float64(globalBatch)
+
+	if !stats.NonFinite {
+		if where := e.scanNonFinite(); where != "" {
+			stats.NonFinite = true
+			stats.NonFiniteAt = where
+		}
+	}
+	e.lastNonFinite = stats.NonFiniteAt
+	return stats
+}
+
+// scanNonFinite checks the weights for INF/NaN values. Deliberately, it
+// does NOT scan optimizer history or normalization statistics: standard
+// training frameworks never check those states, which is exactly why the
+// paper's latent outcomes are silent — an Inf lodged in Adam's v_t or in a
+// BatchNorm moving variance raises no error message while quietly freezing
+// weights or ruining test accuracy. (The detection technique in package
+// detect is what makes those states visible.) Non-finite weights, in
+// contrast, surface as NaN losses within an iteration, so flagging them
+// here matches the error messages real frameworks emit.
+func (e *Engine) scanNonFinite() string {
+	for _, p := range e.replicas[0].Params() {
+		if p.Value.FirstNonFinite() != -1 {
+			return "weights:" + p.Name
+		}
+	}
+	return ""
+}
+
+// Evaluate computes loss and accuracy of device d's replica on the test
+// set, in inference mode (moving statistics active).
+func (e *Engine) Evaluate(d int) (loss, acc float64) {
+	all := e.testSet.All()
+	ctx := &nn.Context{Training: false}
+	out := e.replicas[d].Forward(ctx, all.X, nil)
+	res := e.loss.Eval(out, all.Y)
+	if numerics.HasNonFinite(out.Data) != -1 {
+		return math.NaN(), 0
+	}
+	return res.Loss, float64(res.Correct) / float64(len(all.Y))
+}
+
+// HistoryAbsMax returns the maximum absolute value over all gradient-history
+// tensors of the optimizer (m and v for Adam, velocity for momentum SGD),
+// or 0 if the optimizer keeps no history. This is the quantity the
+// detection technique bounds (Algorithm 1 Part I).
+func (e *Engine) HistoryAbsMax() float64 {
+	h := e.opt.History()
+	if h == nil {
+		return 0
+	}
+	var m float64
+	for _, ts := range h {
+		for _, t := range ts {
+			v := float64(t.AbsMax())
+			if math.IsNaN(v) {
+				return math.Inf(1)
+			}
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// MvarAbsMax returns the maximum absolute moving-variance value across all
+// normalization layers of all devices — the quantity bounded by Algorithm 1
+// Part II. Returns 0 if the model has no normalization layers.
+func (e *Engine) MvarAbsMax() float64 {
+	var m float64
+	for d := 0; d < e.cfg.Devices; d++ {
+		for _, nl := range e.replicas[d].Layers {
+			bn, ok := nl.Layer.(*nn.BatchNorm)
+			if !ok {
+				continue
+			}
+			v := float64(bn.MovingVar.AbsMax())
+			if math.IsNaN(v) {
+				return math.Inf(1)
+			}
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// HasBatchNorm reports whether the model contains normalization layers with
+// moving statistics.
+func (e *Engine) HasBatchNorm() bool {
+	for _, nl := range e.replicas[0].Layers {
+		if _, ok := nl.Layer.(*nn.BatchNorm); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// State is a deep snapshot of everything needed to rewind training to an
+// iteration boundary: weights, optimizer state, and per-device
+// normalization statistics.
+type State struct {
+	Iteration int
+	Params    []*tensor.Tensor
+	OptState  map[string][]*tensor.Tensor
+	// BNStats[d] holds (movingMean, movingVar) pairs per BatchNorm layer of
+	// device d, in layer order.
+	BNStats [][]*tensor.Tensor
+}
+
+// Snapshot captures the engine state after iteration iter completed.
+func (e *Engine) Snapshot(iter int) *State {
+	s := &State{Iteration: iter, OptState: e.opt.Snapshot()}
+	for _, p := range e.replicas[0].Params() {
+		s.Params = append(s.Params, p.Value.Clone())
+	}
+	for d := 0; d < e.cfg.Devices; d++ {
+		var stats []*tensor.Tensor
+		for _, nl := range e.replicas[d].Layers {
+			if bn, ok := nl.Layer.(*nn.BatchNorm); ok {
+				stats = append(stats, bn.MovingMean.Clone(), bn.MovingVar.Clone())
+			}
+		}
+		s.BNStats = append(s.BNStats, stats)
+	}
+	return s
+}
+
+// Restore rewinds the engine to a snapshot.
+func (e *Engine) Restore(s *State) {
+	for d := 0; d < e.cfg.Devices; d++ {
+		for pi, p := range e.replicas[d].Params() {
+			p.Value.CopyFrom(s.Params[pi])
+			p.Grad.Zero()
+		}
+		i := 0
+		for _, nl := range e.replicas[d].Layers {
+			if bn, ok := nl.Layer.(*nn.BatchNorm); ok {
+				bn.MovingMean.CopyFrom(s.BNStats[d][i])
+				bn.MovingVar.CopyFrom(s.BNStats[d][i+1])
+				i += 2
+			}
+		}
+	}
+	e.opt.Restore(s.OptState)
+}

@@ -1,0 +1,375 @@
+// Package workloads defines the DNN training workload zoo mirroring the
+// paper's Table 2. Every workload is scaled down to run on a laptop but
+// preserves the structural axes the paper's analysis keys on:
+//
+//   - optimizer class (Adam vs SGD — gradient normalization decides between
+//     the SlowDegrade family and SharpDegrade, Sec 4.2),
+//   - presence/absence of normalization layers (decides SharpSlowDegrade
+//     vs SlowDegrade and all mvar-driven outcomes, Observation 3),
+//   - the normalization decay factor (0.9 vs 0.99 — decides whether
+//     LowTestAccuracy recovers, Sec 4.2.5),
+//   - architecture family (residual, dense-connectivity, width-scaled,
+//     normalizer-free, detector-style CNN, recurrent memory, attention).
+//
+// The paper workload → stand-in mapping:
+//
+//	Resnet / Resnet_NoBN / Resnet_SGD / Resnet_LargeDecay → 4 configs of a
+//	  residual CNN on Gaussian-cluster images (CIFAR-10 stand-in)
+//	DenseNet       → dense-connectivity CNN (channel concatenation)
+//	Efficientnet   → width/stride-scaled CNN
+//	NFNet          → deeper residual CNN without any normalization layers
+//	Yolov3         → stride-2 detector-style CNN on a second image dataset
+//	Multi-grid neural memory → LSTM over maze grids
+//	Transformer    → self-attention + LayerNorm model on token sequences
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+// Workload bundles everything needed to train one Table-2 entry.
+type Workload struct {
+	// Name is the campaign identifier ("resnet", "resnet_nobn", ...).
+	Name string
+	// Paper names the original workload this stands in for.
+	Paper string
+	// Build constructs one model replica.
+	Build train.BuildFunc
+	// NewOptimizer constructs a fresh optimizer.
+	NewOptimizer func() opt.Optimizer
+	// NewDataset builds the (train, test) datasets.
+	NewDataset func() (*data.Dataset, *data.Dataset)
+	// Devices and PerDeviceBatch configure the distributed engine; the
+	// paper trains on 8 devices.
+	Devices        int
+	PerDeviceBatch int
+	// Iters is the fault-free training length; FI experiments run up to
+	// 2× this (Sec 3.3).
+	Iters int
+	// TestEvery is the test-evaluation period.
+	TestEvery int
+	// LR is the learning rate (needed by the detection bound derivation).
+	LR float64
+	// HasNorm reports whether the model contains BatchNorm layers.
+	HasNorm bool
+	// BNMomentum is the normalization decay factor (Table 2: 0.9, except
+	// Resnet_LargeDecay's 0.99).
+	BNMomentum float32
+	// Mixed selects bfloat16 MAC precision.
+	Mixed bool
+}
+
+// BatchSize returns the global mini-batch size.
+func (w *Workload) BatchSize() int { return w.Devices * w.PerDeviceBatch }
+
+// NewEngine builds a ready-to-train engine for the workload.
+func (w *Workload) NewEngine(seed rng.Seed) *train.Engine {
+	trainSet, testSet := w.NewDataset()
+	loader := data.NewLoader(trainSet, w.BatchSize(), rng.Seed{State: seed.State ^ 0x10ad, Stream: seed.Stream})
+	cfg := train.Config{
+		Devices:        w.Devices,
+		PerDeviceBatch: w.PerDeviceBatch,
+		Seed:           seed,
+		TestEvery:      w.TestEvery,
+	}
+	return train.New(cfg, w.Build, w.NewOptimizer(), loader, testSet)
+}
+
+// imageDataset is the shared CIFAR-10 stand-in (Gaussian cluster images).
+func imageDataset(seed int64) func() (*data.Dataset, *data.Dataset) {
+	return func() (*data.Dataset, *data.Dataset) {
+		ds := data.NewGaussianClusters(data.GaussianClustersConfig{
+			Classes: 4, Examples: 320, C: 1, H: 6, W: 6, NoiseStd: 0.45, Seed: seed,
+		})
+		return ds.Split(256)
+	}
+}
+
+const (
+	imgC, imgH, imgW = 1, 6, 6
+	imgClasses       = 4
+)
+
+// resnetBuild returns a residual CNN builder. withBN controls normalization
+// layers; momentum is the BN decay factor.
+func resnetBuild(withBN bool, momentum float32, mixed bool) train.BuildFunc {
+	return func(r *rng.Rand) *nn.Sequential {
+		var layers []nn.Layer
+		layers = append(layers, nn.NewConv2D("conv1", imgC, 8, 3, 3, 1, 1, r, mixed))
+		if withBN {
+			layers = append(layers, nn.NewBatchNorm("bn1", 8, momentum))
+		}
+		layers = append(layers, nn.NewReLU())
+		branch := []nn.Layer{
+			nn.NewConv2D("res1/conv1", 8, 8, 3, 3, 1, 1, r, mixed),
+		}
+		if withBN {
+			branch = append(branch, nn.NewBatchNorm("res1/bn1", 8, momentum))
+		}
+		branch = append(branch, nn.NewReLU(),
+			nn.NewConv2D("res1/conv2", 8, 8, 3, 3, 1, 1, r, mixed))
+		if withBN {
+			branch = append(branch, nn.NewBatchNorm("res1/bn2", 8, momentum))
+		}
+		layers = append(layers,
+			nn.NewResidual("res1", branch...),
+			nn.NewReLU(),
+			nn.NewGlobalAvgPool(),
+			nn.NewDense("fc", 8, imgClasses, r, mixed),
+		)
+		return nn.NewSequential(layers...)
+	}
+}
+
+// Resnet is the baseline config: BatchNorm after every convolution, Adam.
+func Resnet() *Workload {
+	return &Workload{
+		Name: "resnet", Paper: "Resnet18/Cifar10 (BN, Adam)",
+		Build:        resnetBuild(true, 0.9, false),
+		NewOptimizer: func() opt.Optimizer { return opt.NewAdam(0.01) },
+		NewDataset:   imageDataset(11),
+		Devices:      8, PerDeviceBatch: 2,
+		Iters: 120, TestEvery: 10, LR: 0.01,
+		HasNorm: true, BNMomentum: 0.9,
+	}
+}
+
+// ResnetMixed is the Resnet config with the accelerator's true precision
+// setting: bfloat16 MAC operations, FP32 element-wise (Sec 3.1). It is not
+// part of All() — the campaigns run FP32 for speed — but the precision
+// ablation trains it to show the mixed path converges equivalently.
+func ResnetMixed() *Workload {
+	w := Resnet()
+	w.Name = "resnet_mixed"
+	w.Paper = "Resnet18/Cifar10 (bfloat16 MAC + FP32, Sec 3.1 precision)"
+	w.Build = resnetBuild(true, 0.9, true)
+	w.Mixed = true
+	return w
+}
+
+// ResnetNoBN removes all normalization layers (Table 2 config 2).
+func ResnetNoBN() *Workload {
+	w := Resnet()
+	w.Name = "resnet_nobn"
+	w.Paper = "Resnet18/Cifar10 (no BatchNorm)"
+	w.Build = resnetBuild(false, 0, false)
+	w.HasNorm = false
+	w.BNMomentum = 0
+	return w
+}
+
+// ResnetSGD swaps Adam for plain SGD (Table 2 config 3) — the only
+// workload whose optimizer does not normalize gradients.
+func ResnetSGD() *Workload {
+	w := Resnet()
+	w.Name = "resnet_sgd"
+	w.Paper = "Resnet18/Cifar10 (SGD)"
+	w.NewOptimizer = func() opt.Optimizer { return opt.NewSGD(0.05, 0) }
+	w.LR = 0.05
+	return w
+}
+
+// ResnetLargeDecay raises the BN decay factor to 0.99 (Table 2 config 4),
+// making corrupted mvar values decay too slowly to recover — the
+// LowTestAccuracy configuration (Sec 4.2.5).
+func ResnetLargeDecay() *Workload {
+	w := Resnet()
+	w.Name = "resnet_largedecay"
+	w.Paper = "Resnet18/Cifar10 (BN momentum 0.99)"
+	w.Build = resnetBuild(true, 0.99, false)
+	w.BNMomentum = 0.99
+	return w
+}
+
+// DenseNet uses dense connectivity: each stage's features are concatenated
+// with its inputs.
+func DenseNet() *Workload {
+	return &Workload{
+		Name: "densenet", Paper: "DenseNet/Cifar10",
+		Build: func(r *rng.Rand) *nn.Sequential {
+			return nn.NewSequential(
+				nn.NewConv2D("stem", imgC, 4, 3, 3, 1, 1, r, false),
+				nn.NewBatchNorm("bn0", 4, 0.9),
+				nn.NewReLU(),
+				nn.NewDenseBlock("block",
+					[]nn.Layer{nn.NewConv2D("db/c1", 4, 4, 3, 3, 1, 1, r, false), nn.NewBatchNorm("db/bn1", 4, 0.9), nn.NewReLU()},
+					[]nn.Layer{nn.NewConv2D("db/c2", 8, 4, 3, 3, 1, 1, r, false), nn.NewBatchNorm("db/bn2", 4, 0.9), nn.NewReLU()},
+				),
+				nn.NewGlobalAvgPool(),
+				nn.NewDense("fc", 12, imgClasses, r, false),
+			)
+		},
+		NewOptimizer: func() opt.Optimizer { return opt.NewAdam(0.01) },
+		NewDataset:   imageDataset(13),
+		Devices:      8, PerDeviceBatch: 2,
+		Iters: 120, TestEvery: 10, LR: 0.01,
+		HasNorm: true, BNMomentum: 0.9,
+	}
+}
+
+// EfficientNet is the width/stride-scaled CNN.
+func EfficientNet() *Workload {
+	return &Workload{
+		Name: "efficientnet", Paper: "EfficientNet/Cifar10",
+		Build: func(r *rng.Rand) *nn.Sequential {
+			return nn.NewSequential(
+				nn.NewConv2D("c1", imgC, 6, 3, 3, 1, 1, r, false),
+				nn.NewBatchNorm("bn1", 6, 0.9),
+				nn.NewReLU(),
+				nn.NewConv2D("c2", 6, 12, 3, 3, 2, 1, r, false),
+				nn.NewBatchNorm("bn2", 12, 0.9),
+				nn.NewReLU(),
+				nn.NewGlobalAvgPool(),
+				nn.NewDense("fc", 12, imgClasses, r, false),
+			)
+		},
+		NewOptimizer: func() opt.Optimizer { return opt.NewAdam(0.01) },
+		NewDataset:   imageDataset(17),
+		Devices:      8, PerDeviceBatch: 2,
+		Iters: 120, TestEvery: 10, LR: 0.01,
+		HasNorm: true, BNMomentum: 0.9,
+	}
+}
+
+// NFNet is the normalizer-free residual network (no BatchNorm anywhere,
+// like Resnet_NoBN but deeper — the paper lists NFNet as the second
+// workload where SharpSlowDegrade can occur).
+func NFNet() *Workload {
+	return &Workload{
+		Name: "nfnet", Paper: "NFNet/Cifar10 (normalizer-free)",
+		Build: func(r *rng.Rand) *nn.Sequential {
+			return nn.NewSequential(
+				nn.NewConv2D("c1", imgC, 8, 3, 3, 1, 1, r, false),
+				nn.NewReLU(),
+				nn.NewResidual("res1",
+					nn.NewConv2D("res1/c1", 8, 8, 3, 3, 1, 1, r, false),
+					nn.NewReLU(),
+					nn.NewConv2D("res1/c2", 8, 8, 3, 3, 1, 1, r, false),
+				),
+				nn.NewReLU(),
+				nn.NewResidual("res2",
+					nn.NewConv2D("res2/c1", 8, 8, 3, 3, 1, 1, r, false),
+					nn.NewReLU(),
+					nn.NewConv2D("res2/c2", 8, 8, 3, 3, 1, 1, r, false),
+				),
+				nn.NewReLU(),
+				nn.NewGlobalAvgPool(),
+				nn.NewDense("fc", 8, imgClasses, r, false),
+			)
+		},
+		NewOptimizer: func() opt.Optimizer { return opt.NewAdam(0.01) },
+		NewDataset:   imageDataset(19),
+		Devices:      8, PerDeviceBatch: 2,
+		Iters: 120, TestEvery: 10, LR: 0.01,
+		HasNorm: false,
+	}
+}
+
+// Yolo is the detector-style CNN (stride-2 downsampling backbone) on a
+// separate image dataset, standing in for Yolov3/VOC12.
+func Yolo() *Workload {
+	return &Workload{
+		Name: "yolo", Paper: "Yolov3/VOC12",
+		Build: func(r *rng.Rand) *nn.Sequential {
+			// Leaky ReLU is YOLO's activation; it also weakens the
+			// negative-value masking effect ReLU provides (Sec 2).
+			return nn.NewSequential(
+				nn.NewConv2D("c1", imgC, 8, 3, 3, 1, 1, r, false),
+				nn.NewBatchNorm("bn1", 8, 0.9),
+				nn.NewLeakyReLU(0.1),
+				nn.NewMaxPool2D(2, 2),
+				nn.NewConv2D("c2", 8, 12, 3, 3, 1, 1, r, false),
+				nn.NewBatchNorm("bn2", 12, 0.9),
+				nn.NewLeakyReLU(0.1),
+				nn.NewFlatten(),
+				nn.NewDense("head", 12*3*3, imgClasses, r, false),
+			)
+		},
+		NewOptimizer: func() opt.Optimizer { return opt.NewAdam(0.01) },
+		NewDataset:   imageDataset(23),
+		Devices:      8, PerDeviceBatch: 2,
+		Iters: 100, TestEvery: 10, LR: 0.01,
+		HasNorm: true, BNMomentum: 0.9,
+	}
+}
+
+// MGNM is the recurrent-memory workload: an LSTM consuming maze grids row
+// by row, standing in for the multigrid-neural-memory 25×25 maze task.
+func MGNM() *Workload {
+	const h, w = 6, 6
+	return &Workload{
+		Name: "mgnm", Paper: "Multigrid neural memory / 25×25 maze",
+		Build: func(r *rng.Rand) *nn.Sequential {
+			return nn.NewSequential(
+				nn.NewReshape(h, w), // [B,1,H,W] → sequence of H rows
+				nn.NewLSTM("lstm", w, 16, r, false),
+				nn.NewDense("fc", 16, 4, r, false),
+			)
+		},
+		NewOptimizer: func() opt.Optimizer { return opt.NewAdam(0.01) },
+		NewDataset: func() (*data.Dataset, *data.Dataset) {
+			ds := data.NewMaze(data.MazeConfig{Examples: 320, H: h, W: w, Seed: 29})
+			return ds.Split(256)
+		},
+		Devices: 8, PerDeviceBatch: 2,
+		Iters: 150, TestEvery: 10, LR: 0.01,
+		HasNorm: false,
+	}
+}
+
+// Transformer is the attention workload: embedding, self-attention with
+// LayerNorm, position-wise feed-forward, classification over the sequence.
+func Transformer() *Workload {
+	const seqLen, vocab, dim = 8, 6, 12
+	return &Workload{
+		Name: "transformer", Paper: "Transformer/WMT14 EN-DE",
+		Build: func(r *rng.Rand) *nn.Sequential {
+			return nn.NewSequential(
+				nn.NewSeqDense("embed", vocab, dim, r, false),
+				nn.NewAttention("attn", dim, dim, r, false),
+				nn.NewLayerNorm("ln1", dim),
+				nn.NewSeqDense("ff", dim, dim, r, false),
+				nn.NewGELU(),
+				nn.NewLayerNorm("ln2", dim),
+				nn.NewSeqMean(),
+				nn.NewDense("fc", dim, vocab, r, false),
+			)
+		},
+		NewOptimizer: func() opt.Optimizer { return opt.NewAdam(0.01) },
+		NewDataset: func() (*data.Dataset, *data.Dataset) {
+			ds := data.NewSequence(data.SequenceConfig{Examples: 320, Length: seqLen, Vocab: vocab, Seed: 31})
+			return ds.Split(256)
+		},
+		Devices: 8, PerDeviceBatch: 2,
+		Iters: 150, TestEvery: 10, LR: 0.01,
+		HasNorm: false,
+	}
+}
+
+// All returns every workload of the zoo in Table-2 order.
+func All() []*Workload {
+	return []*Workload{
+		Resnet(), ResnetNoBN(), ResnetSGD(), ResnetLargeDecay(),
+		DenseNet(), EfficientNet(), NFNet(), Yolo(), MGNM(), Transformer(),
+	}
+}
+
+// ByName returns the named workload or an error listing valid names.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	var names []string
+	for _, w := range All() {
+		names = append(names, w.Name)
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q (valid: %v)", name, names)
+}

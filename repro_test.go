@@ -1,0 +1,90 @@
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+	"repro/internal/rng"
+)
+
+func TestPublicWorkloadZoo(t *testing.T) {
+	ws := repro.Workloads()
+	if len(ws) != 10 {
+		t.Fatalf("workload zoo has %d entries, want 10 (Table 2)", len(ws))
+	}
+	for _, w := range ws {
+		got, err := repro.WorkloadByName(w.Name)
+		if err != nil || got.Name != w.Name {
+			t.Fatalf("WorkloadByName(%q) = %v, %v", w.Name, got, err)
+		}
+	}
+	if _, err := repro.WorkloadByName("not-a-workload"); err == nil {
+		t.Fatal("unknown workload resolved")
+	}
+}
+
+func TestPublicCampaignEndToEnd(t *testing.T) {
+	w, err := repro.WorkloadByName("yolo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iters = 40
+	c := repro.RunCampaignConfig(repro.CampaignConfig{
+		Workload: w, Experiments: 8, Seed: 5, HorizonMult: 1,
+	})
+	if c.Tally.Total != 8 {
+		t.Fatalf("tally %d", c.Tally.Total)
+	}
+	var buf bytes.Buffer
+	c.Report(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestPublicSingleInjectionAndGuarded(t *testing.T) {
+	inj, err := repro.RandomInjection("yolo", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, ref, err := repro.SingleInjection("yolo", inj, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Completed == 0 || ref.Completed == 0 {
+		t.Fatal("empty traces")
+	}
+
+	g, w, err := repro.NewGuarded("yolo", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.D.Bounds.GradHistory <= 0 {
+		t.Fatal("bounds not derived")
+	}
+	_ = w
+}
+
+func TestPublicInventoryAndValidation(t *testing.T) {
+	if len(repro.Inventory()) == 0 {
+		t.Fatal("empty inventory")
+	}
+	agree, total := repro.ValidateFaultModels(50, 2)
+	if agree != total || total != 50 {
+		t.Fatalf("validation %d/%d", agree, total)
+	}
+}
+
+func TestPublicOutcomeConstants(t *testing.T) {
+	if repro.Benign.IsUnexpected() {
+		t.Fatal("Benign marked unexpected")
+	}
+	if !repro.SlowDegrade.IsLatent() {
+		t.Fatal("SlowDegrade not latent")
+	}
+	if repro.Version == "" {
+		t.Fatal("empty version")
+	}
+	_ = rng.Seed{} // the seed type is part of the public injection surface
+}
