@@ -1,0 +1,31 @@
+#!/bin/sh
+# Repository CI gate: formatting, vet, build, full tests, and race-detector
+# runs of the packages with concurrency (the parallel GEMM kernels, the
+# device-parallel trainer, and the campaign worker pool).
+#
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "files need gofmt:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/tensor ./internal/nn ./internal/train ./internal/experiment
+
+echo "CI passed."

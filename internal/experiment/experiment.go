@@ -55,6 +55,13 @@ type Config struct {
 	BiasKinds []accel.FFKind
 	// BiasPasses, when non-empty, restricts the injected pass similarly.
 	BiasPasses []fault.Pass
+	// DeviceParallel steps each engine's simulated devices on separate
+	// goroutines (train.Engine.SetDeviceParallel) instead of sequentially.
+	// Results are bitwise-identical either way. Campaigns with many
+	// experiments saturate the cores through the worker pool already, so
+	// this mainly helps small campaigns (or Experiments < Workers) on
+	// multi-core hosts; leave it off otherwise to avoid oversubscription.
+	DeviceParallel bool
 }
 
 // Record is the result of one FI experiment.
@@ -108,6 +115,7 @@ func Run(cfg Config) *Campaign {
 
 	// Fault-free reference run.
 	refEngine := w.NewEngine(rng.Seed{State: uint64(cfg.Seed), Stream: 77})
+	refEngine.SetDeviceParallel(cfg.DeviceParallel)
 	ref := train.NewTrace(w.Name + "-ref")
 	refEngine.Run(0, horizon, ref, false)
 
@@ -139,18 +147,31 @@ func Run(cfg Config) *Campaign {
 		injections[i] = inj
 	}
 
+	// Fixed worker pool over a shared index channel: exactly `workers`
+	// goroutines for the whole campaign instead of one goroutine (plus a
+	// semaphore slot) per experiment. Each experiment writes only its own
+	// Records[i], so scheduling order cannot affect results, and the tally
+	// below runs over Records in index order — record order and outcome
+	// totals are identical for any worker count.
 	c.Records = make([]Record, cfg.Experiments)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range injections {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			c.Records[i] = runOne(w, injections[i], horizon, cfg.Seed, cls)
-		}(i)
+	if workers > len(injections) {
+		workers = len(injections)
 	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				c.Records[i] = runOne(w, injections[i], horizon, cfg.Seed, cls, cfg.DeviceParallel)
+			}
+		}()
+	}
+	for i := range injections {
+		idxCh <- i
+	}
+	close(idxCh)
 	wg.Wait()
 	for i := range c.Records {
 		c.Tally.Add(c.Records[i].Outcome)
@@ -159,8 +180,9 @@ func Run(cfg Config) *Campaign {
 }
 
 // runOne executes a single FI experiment.
-func runOne(w *workloads.Workload, inj fault.Injection, horizon int, seed int64, cls *outcome.Classifier) Record {
+func runOne(w *workloads.Workload, inj fault.Injection, horizon int, seed int64, cls *outcome.Classifier, deviceParallel bool) Record {
 	e := w.NewEngine(rng.Seed{State: uint64(seed), Stream: 77}) // same seed as reference
+	e.SetDeviceParallel(deviceParallel)
 	e.SetInjection(&inj)
 	det := detect.New(detect.Derive(detect.ConfigForModel(e.Replica(0), w.BatchSize(), w.LR)))
 

@@ -17,6 +17,12 @@ type Conv2D struct {
 	Par   tensor.ConvParams
 	Mixed bool
 	lastX *tensor.Tensor
+	// ws holds the layer's im2col/col2im scratch and gradient staging
+	// buffers; lastCols is the forward im2col matrix, handed to the
+	// backward pass so the lowering runs once per iteration instead of
+	// twice.
+	ws       *tensor.Workspace
+	lastCols *tensor.Tensor
 }
 
 // NewConv2D creates a convolution layer with He-normal initialization.
@@ -27,6 +33,7 @@ func NewConv2D(name string, inC, outC, kh, kw, stride, padding int, r *rng.Rand,
 		B:     newParam(name+"/bias", outC),
 		Par:   tensor.ConvParams{KH: kh, KW: kw, Stride: stride, Padding: padding},
 		Mixed: mixed,
+		ws:    tensor.NewWorkspace(),
 	}
 	fanIn := float64(inC * kh * kw)
 	c.K.Value.FillNormal(r, 0, math.Sqrt(2.0/fanIn))
@@ -49,39 +56,20 @@ func (c *Conv2D) FanIn() int {
 func (c *Conv2D) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
 	checkRank(c.name, x, 4)
 	c.lastX = x
-	y := tensor.Conv2D(x, c.K.Value, c.Par, c.Mixed)
-	// Add per-channel bias.
-	n, k := y.Shape[0], y.Shape[1]
-	spatial := y.Shape[2] * y.Shape[3]
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < k; ch++ {
-			bias := c.B.Value.Data[ch]
-			base := (b*k + ch) * spatial
-			for i := 0; i < spatial; i++ {
-				y.Data[base+i] += bias
-			}
-		}
-	}
+	y, cols := tensor.Conv2DForwardWS(c.ws, x, c.K.Value, c.Par, c.Mixed)
+	c.lastCols = cols
+	tensor.AddBiasNCHW(y, c.B.Value)
 	return y
 }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	checkRank(c.name+" backward", gradOut, 4)
-	gradIn, gradK := tensor.Conv2DBackward(c.lastX, c.K.Value, gradOut, c.Par, c.Mixed)
+	// The forward im2col matrix is still valid (lastX is untouched between
+	// the passes), so the backward skips the re-lowering.
+	gradIn, gradK := tensor.Conv2DBackwardWS(c.ws, c.lastX, c.K.Value, gradOut, c.lastCols, c.Par, c.Mixed)
 	c.K.Grad.AddInPlace(gradK)
-	n, k := gradOut.Shape[0], gradOut.Shape[1]
-	spatial := gradOut.Shape[2] * gradOut.Shape[3]
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < k; ch++ {
-			base := (b*k + ch) * spatial
-			var sum float32
-			for i := 0; i < spatial; i++ {
-				sum += gradOut.Data[base+i]
-			}
-			c.B.Grad.Data[ch] += sum
-		}
-	}
+	tensor.SumPerChannelNCHW(gradOut, c.B.Grad)
 	return gradIn
 }
 

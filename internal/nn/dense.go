@@ -17,12 +17,14 @@ type Dense struct {
 	Mixed bool
 
 	lastX *tensor.Tensor
+	ws    *tensor.Workspace
 }
 
 // NewDense creates a Dense layer with He-normal initialized weights
 // (Property 1 of Algorithm 1 assumes variance-preserving initialization).
 func NewDense(name string, in, out int, r *rng.Rand, mixed bool) *Dense {
-	d := &Dense{name: name, W: newParam(name+"/kernel", in, out), B: newParam(name+"/bias", out), Mixed: mixed}
+	d := &Dense{name: name, W: newParam(name+"/kernel", in, out), B: newParam(name+"/bias", out),
+		Mixed: mixed, ws: tensor.NewWorkspace()}
 	std := math.Sqrt(2.0 / float64(in))
 	d.W.Value.FillNormal(r, 0, std)
 	return d
@@ -42,19 +44,8 @@ func (d *Dense) FanIn() int { return d.W.Value.Shape[0] }
 func (d *Dense) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
 	checkRank(d.name, x, 2)
 	d.lastX = x
-	var y *tensor.Tensor
-	if d.Mixed {
-		y = tensor.MatMulMixed(x, d.W.Value)
-	} else {
-		y = tensor.MatMul(x, d.W.Value)
-	}
-	out := y.Shape[1]
-	for i := 0; i < y.Shape[0]; i++ {
-		row := y.Data[i*out : (i+1)*out]
-		for j := range row {
-			row[j] += d.B.Value.Data[j]
-		}
-	}
+	y := tensor.MatMulInto(d.ws.Get("y", x.Shape[0], d.W.Value.Shape[1]), x, d.W.Value, d.Mixed)
+	tensor.AddBiasNCHW(y, d.B.Value)
 	return y
 }
 
@@ -63,22 +54,11 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	checkRank(d.name+" backward", gradOut, 2)
 	x := d.lastX
 	// dW = xᵀ · gradOut ; db = column sums of gradOut ; dx = gradOut · Wᵀ.
-	xT := tensor.Transpose2D(x)
-	var dW, dX *tensor.Tensor
-	if d.Mixed {
-		dW = tensor.MatMulMixed(xT, gradOut)
-		dX = tensor.MatMulMixed(gradOut, tensor.Transpose2D(d.W.Value))
-	} else {
-		dW = tensor.MatMul(xT, gradOut)
-		dX = tensor.MatMul(gradOut, tensor.Transpose2D(d.W.Value))
-	}
+	// The fused-transpose kernels avoid materializing xᵀ and Wᵀ.
+	dW := tensor.MatMulTAInto(d.ws.Get("dw", d.W.Value.Shape[0], d.W.Value.Shape[1]), x, gradOut, d.Mixed)
+	dX := tensor.MatMulTBInto(d.ws.Get("dx", x.Shape[0], x.Shape[1]), gradOut, d.W.Value, d.Mixed)
 	d.W.Grad.AddInPlace(dW)
-	out := gradOut.Shape[1]
-	for i := 0; i < gradOut.Shape[0]; i++ {
-		for j := 0; j < out; j++ {
-			d.B.Grad.Data[j] += gradOut.Data[i*out+j]
-		}
-	}
+	tensor.SumPerChannelNCHW(gradOut, d.B.Grad)
 	return dX
 }
 

@@ -68,6 +68,11 @@ type Layer interface {
 // Sequential.
 type Sequential struct {
 	Layers []*NamedLayer
+
+	// params caches the flattened parameter list. The layer set is fixed
+	// after construction, and Param structs are stable pointers, so the
+	// list is computed once; callers must not mutate the returned slice.
+	params []*Param
 }
 
 // NamedLayer pairs a layer with its position-stable name.
@@ -87,13 +92,16 @@ func NewSequential(layers ...Layer) *Sequential {
 // Len returns the number of top-level layers.
 func (s *Sequential) Len() int { return len(s.Layers) }
 
-// Params returns all parameters of all layers, in layer order.
+// Params returns all parameters of all layers, in layer order. The slice is
+// cached (the engine calls this on every device every iteration) and must
+// be treated as read-only.
 func (s *Sequential) Params() []*Param {
-	var ps []*Param
-	for _, nl := range s.Layers {
-		ps = append(ps, nl.Layer.Params()...)
+	if s.params == nil {
+		for _, nl := range s.Layers {
+			s.params = append(s.params, nl.Layer.Params()...)
+		}
 	}
-	return ps
+	return s.params
 }
 
 // ZeroGrad clears all parameter gradients.

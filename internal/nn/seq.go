@@ -139,6 +139,17 @@ func (at *Attention) matmul(a, b *tensor.Tensor) *tensor.Tensor {
 	return tensor.MatMul(a, b)
 }
 
+// matmulTA / matmulTB are the fused-transpose forms (Aᵀ×B and A×Bᵀ): the
+// attention backward is dominated by transposed products, and fusing them
+// removes every Transpose2D materialization from the layer.
+func (at *Attention) matmulTA(a, b *tensor.Tensor) *tensor.Tensor {
+	return tensor.MatMulTA(a, b, at.Mixed)
+}
+
+func (at *Attention) matmulTB(a, b *tensor.Tensor) *tensor.Tensor {
+	return tensor.MatMulTB(a, b, at.Mixed)
+}
+
 // Forward implements Layer.
 func (at *Attention) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
 	checkRank(at.name, x, 3)
@@ -156,7 +167,7 @@ func (at *Attention) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
 		qb := at.matmul(xb, at.Wq.Value)
 		kb := at.matmul(xb, at.Wk.Value)
 		vb := at.matmul(xb, at.Wv.Value)
-		s := at.matmul(qb, tensor.Transpose2D(kb))
+		s := at.matmulTB(qb, kb)
 		s.Scale(scale)
 		a := softmaxRows(s)
 		ob := at.matmul(a, vb)
@@ -182,12 +193,12 @@ func (at *Attention) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		qb, kb, vb, a, ob := at.q[bi], at.k[bi], at.v[bi], at.a[bi], at.o[bi]
 
 		// Y = O·Wo
-		at.Wo.Grad.AddInPlace(at.matmul(tensor.Transpose2D(ob), gy))
-		gO := at.matmul(gy, tensor.Transpose2D(at.Wo.Value))
+		at.Wo.Grad.AddInPlace(at.matmulTA(ob, gy))
+		gO := at.matmulTB(gy, at.Wo.Value)
 
 		// O = A·V
-		gA := at.matmul(gO, tensor.Transpose2D(vb))
-		gV := at.matmul(tensor.Transpose2D(a), gO)
+		gA := at.matmulTB(gO, vb)
+		gV := at.matmulTA(a, gO)
 
 		// A = softmax(S) rows: dS = A ⊙ (dA − rowsum(dA⊙A))
 		gS := softmaxRowsBackward(a, gA)
@@ -195,16 +206,16 @@ func (at *Attention) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 
 		// S = Q·Kᵀ
 		gQ := at.matmul(gS, kb)
-		gK := at.matmul(tensor.Transpose2D(gS), qb)
+		gK := at.matmulTA(gS, qb)
 
 		// Projections.
-		at.Wq.Grad.AddInPlace(at.matmul(tensor.Transpose2D(xb), gQ))
-		at.Wk.Grad.AddInPlace(at.matmul(tensor.Transpose2D(xb), gK))
-		at.Wv.Grad.AddInPlace(at.matmul(tensor.Transpose2D(xb), gV))
+		at.Wq.Grad.AddInPlace(at.matmulTA(xb, gQ))
+		at.Wk.Grad.AddInPlace(at.matmulTA(xb, gK))
+		at.Wv.Grad.AddInPlace(at.matmulTA(xb, gV))
 
-		gx := at.matmul(gQ, tensor.Transpose2D(at.Wq.Value))
-		gx.AddInPlace(at.matmul(gK, tensor.Transpose2D(at.Wk.Value)))
-		gx.AddInPlace(at.matmul(gV, tensor.Transpose2D(at.Wv.Value)))
+		gx := at.matmulTB(gQ, at.Wq.Value)
+		gx.AddInPlace(at.matmulTB(gK, at.Wk.Value))
+		gx.AddInPlace(at.matmulTB(gV, at.Wv.Value))
 		copy(gradIn.Data[bi*l*d:(bi+1)*l*d], gx.Data)
 	}
 	return gradIn
@@ -313,6 +324,14 @@ func (l *LSTM) matmul(a, b *tensor.Tensor) *tensor.Tensor {
 	return tensor.MatMul(a, b)
 }
 
+func (l *LSTM) matmulTA(a, b *tensor.Tensor) *tensor.Tensor {
+	return tensor.MatMulTA(a, b, l.Mixed)
+}
+
+func (l *LSTM) matmulTB(a, b *tensor.Tensor) *tensor.Tensor {
+	return tensor.MatMulTB(a, b, l.Mixed)
+}
+
 // Forward implements Layer.
 func (l *LSTM) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
 	checkRank(l.name, x, 3)
@@ -334,11 +353,7 @@ func (l *LSTM) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
 		}
 		z := l.matmul(xt, l.Wx.Value)
 		z.AddInPlace(l.matmul(hPrev, l.Wh.Value))
-		for bi := 0; bi < b; bi++ {
-			for j := 0; j < 4*h; j++ {
-				z.Data[bi*4*h+j] += l.Bias.Value.Data[j]
-			}
-		}
+		tensor.AddBiasNCHW(z, l.Bias.Value)
 		// Activate gates in place: i,f,o sigmoid; g tanh.
 		for bi := 0; bi < b; bi++ {
 			base := bi * 4 * h
@@ -409,18 +424,14 @@ func (l *LSTM) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 		xt := l.xs[t]
 		hPrev := l.hs[t]
-		l.Wx.Grad.AddInPlace(l.matmul(tensor.Transpose2D(xt), dz))
-		l.Wh.Grad.AddInPlace(l.matmul(tensor.Transpose2D(hPrev), dz))
-		for bi := 0; bi < b; bi++ {
-			for j := 0; j < 4*h; j++ {
-				l.Bias.Grad.Data[j] += dz.Data[bi*4*h+j]
-			}
-		}
-		dxt := l.matmul(dz, tensor.Transpose2D(l.Wx.Value))
+		l.Wx.Grad.AddInPlace(l.matmulTA(xt, dz))
+		l.Wh.Grad.AddInPlace(l.matmulTA(hPrev, dz))
+		tensor.SumPerChannelNCHW(dz, l.Bias.Grad)
+		dxt := l.matmulTB(dz, l.Wx.Value)
 		for bi := 0; bi < b; bi++ {
 			copy(gradIn.Data[(bi*seqLen+t)*d:(bi*seqLen+t+1)*d], dxt.Data[bi*d:(bi+1)*d])
 		}
-		dh = l.matmul(dz, tensor.Transpose2D(l.Wh.Value))
+		dh = l.matmulTB(dz, l.Wh.Value)
 	}
 	return gradIn
 }

@@ -1,0 +1,60 @@
+package tensor
+
+import "fmt"
+
+// channelDims views a tensor as [N, C, spatial]: axis 0 is the batch, axis
+// 1 the channel (the accelerator's per-MAC-unit axis), and any remaining
+// axes collapse into the spatial extent. Rank-2 tensors (Dense outputs
+// [B, Out]) are the spatial=1 case, which is what lets Dense and Conv2D
+// share the bias helpers below.
+func channelDims(op string, t *Tensor) (n, c, spatial int) {
+	if len(t.Shape) < 2 {
+		panic(fmt.Sprintf("tensor: %s requires rank ≥ 2, got %v", op, t.Shape))
+	}
+	n, c, spatial = t.Shape[0], t.Shape[1], 1
+	for _, d := range t.Shape[2:] {
+		spatial *= d
+	}
+	return
+}
+
+// AddBiasNCHW adds bias[c] to every element of channel c: the shared
+// per-channel bias addition of Conv2D ([N,K,OH,OW] + [K]) and Dense
+// ([B, Out] + [Out]).
+func AddBiasNCHW(t, bias *Tensor) {
+	n, c, spatial := channelDims("AddBiasNCHW", t)
+	if bias.Len() != c {
+		panic(fmt.Sprintf("tensor: AddBiasNCHW bias has %d elements for %d channels", bias.Len(), c))
+	}
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			bv := bias.Data[ch]
+			row := t.Data[(b*c+ch)*spatial : (b*c+ch+1)*spatial]
+			for i := range row {
+				row[i] += bv
+			}
+		}
+	}
+}
+
+// SumPerChannelNCHW accumulates the sum of each channel of t into into[c]
+// (+=, matching gradient-accumulation semantics): the shared bias-gradient
+// reduction of Conv2D and Dense backward passes. Accumulation order is
+// batch-major then spatial, identical for any worker setting — the
+// reduction is intentionally serial to preserve bitwise determinism.
+func SumPerChannelNCHW(t, into *Tensor) {
+	n, c, spatial := channelDims("SumPerChannelNCHW", t)
+	if into.Len() != c {
+		panic(fmt.Sprintf("tensor: SumPerChannelNCHW destination has %d elements for %d channels", into.Len(), c))
+	}
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			row := t.Data[(b*c+ch)*spatial : (b*c+ch+1)*spatial]
+			var sum float32
+			for _, v := range row {
+				sum += v
+			}
+			into.Data[ch] += sum
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Matrix-multiplication kernels: plain, fused-transpose (Aᵀ×B, A×Bᵀ) and
+// destination-reuse variants, in FP32 and mixed bfloat16/FP32 precision,
+// with cache blocking and optional goroutine parallelism.
+//
+// Determinism contract (internal/recovery depends on it): every kernel in
+// this file produces bitwise-identical results regardless of the worker
+// count, and identical to the original serial ikj kernel. The guarantees
+// follow from two invariants:
+//
+//  1. Each output element C[i][j] is written by exactly one goroutine
+//     (workers own disjoint, contiguous row ranges of C).
+//  2. For a fixed element, partial products are accumulated in ascending-k
+//     order, with the same skip rule (a-operand exactly zero before any
+//     bfloat16 rounding) as the serial kernel. Register blocking over rows
+//     of C reorders only *independent* accumulators, never the addends of
+//     one element.
+//
+// The fused-transpose kernels index the transposed operand directly instead
+// of materializing the transpose, but visit the addends of each element in
+// the same ascending-k order, so they are bitwise-equal to
+// MatMul(Transpose2D(a), b) and MatMul(a, Transpose2D(b)) respectively.
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/numerics"
+)
+
+var (
+	// matmulWorkers is the maximum number of goroutines a single matmul may
+	// fan out to. 1 disables kernel parallelism.
+	matmulWorkers = runtime.GOMAXPROCS(0)
+	// parallelFlops is the minimum m·k·n product at which a kernel spawns
+	// goroutines; below it the fixed cost of the fan-out outweighs the win.
+	parallelFlops = 1 << 17
+)
+
+// SetWorkers bounds the goroutine fan-out of the matmul kernels and returns
+// the previous bound. n < 1 is clamped to 1 (serial execution). The setting
+// is process-global and must not be changed while kernels are running; the
+// result of every kernel is bitwise-independent of it.
+func SetWorkers(n int) int {
+	old := matmulWorkers
+	if n < 1 {
+		n = 1
+	}
+	matmulWorkers = n
+	return old
+}
+
+// Workers returns the current kernel worker bound.
+func Workers() int { return matmulWorkers }
+
+// SetParallelThreshold sets the minimum m·k·n flop count at which matmul
+// kernels parallelize, returning the previous threshold. 0 forces the
+// parallel path even for tiny operands (used by the determinism regression
+// tests); a very large value forces the serial path.
+func SetParallelThreshold(flops int) int {
+	old := parallelFlops
+	parallelFlops = flops
+	return old
+}
+
+// ParallelThreshold returns the current parallelization threshold.
+func ParallelThreshold() int { return parallelFlops }
+
+// runParallel reports whether a kernel over m rows and flops total work
+// should fan out to goroutines. Callers use it to take a closure-free serial
+// path (a heap-allocated closure per call would defeat the zero-alloc
+// steady state) and only build the parallelRows closure when it pays off.
+func runParallel(m, flops int) bool {
+	w := matmulWorkers
+	if w > m {
+		w = m
+	}
+	return w > 1 && flops >= parallelFlops
+}
+
+// parallelRows partitions [0, m) into at most matmulWorkers contiguous
+// chunks and runs body on each. Row ranges are disjoint, so each output
+// element is produced by exactly one goroutine; chunk boundaries never
+// change accumulation order within a row.
+func parallelRows(m, flops int, body func(lo, hi int)) {
+	w := matmulWorkers
+	if w > m {
+		w = m
+	}
+	if w <= 1 || flops < parallelFlops {
+		body(0, m)
+		return
+	}
+	chunk := (m + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes C = A × B for 2-D tensors A [m,k] and B [k,n] in FP32.
+func MatMul(a, b *Tensor) *Tensor {
+	m, _, n := checkMatMul(a, b)
+	return MatMulInto(New(m, n), a, b, false)
+}
+
+// MatMulMixed computes C = A × B with each scalar product rounded through
+// bfloat16 before being accumulated in FP32 — the modeled accelerator's MAC
+// precision (Sec 3.1: "bfloat16 and FP32 are used for MAC and element-wise
+// operations, respectively").
+func MatMulMixed(a, b *Tensor) *Tensor {
+	m, _, n := checkMatMul(a, b)
+	return MatMulInto(New(m, n), a, b, true)
+}
+
+// MatMulInto computes dst = A × B, overwriting dst (shape [m,n], any
+// previous contents are discarded), and returns dst. It is the
+// destination-reuse entry point the layers use with a Workspace so
+// steady-state training steps allocate nothing.
+func MatMulInto(dst, a, b *Tensor, mixed bool) *Tensor {
+	m, k, n := checkMatMul(a, b)
+	checkDst("MatMulInto", dst, m, n)
+	zero(dst.Data)
+	ad, bd, cd := a.Data, b.Data, dst.Data
+	if !runParallel(m, m*k*n) {
+		gemmNN(cd, ad, bd, k, n, mixed, 0, m)
+		return dst
+	}
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		gemmNN(cd, ad, bd, k, n, mixed, lo, hi)
+	})
+	return dst
+}
+
+// MatMulTA computes C = Aᵀ × B for A [k,m] and B [k,n] without
+// materializing the transpose. Bitwise-equal to MatMul(Transpose2D(a), b).
+func MatMulTA(a, b *Tensor, mixed bool) *Tensor {
+	k, m, n := checkMatMulTA(a, b)
+	c := New(m, n)
+	_ = k
+	return MatMulTAInto(c, a, b, mixed)
+}
+
+// MatMulTAInto computes dst = Aᵀ × B into dst [m,n], overwriting it.
+func MatMulTAInto(dst, a, b *Tensor, mixed bool) *Tensor {
+	k, m, n := checkMatMulTA(a, b)
+	checkDst("MatMulTAInto", dst, m, n)
+	zero(dst.Data)
+	ad, bd, cd := a.Data, b.Data, dst.Data
+	if !runParallel(m, m*k*n) {
+		gemmTA(cd, ad, bd, k, m, n, mixed, 0, m)
+		return dst
+	}
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		gemmTA(cd, ad, bd, k, m, n, mixed, lo, hi)
+	})
+	return dst
+}
+
+// MatMulTB computes C = A × Bᵀ for A [m,k] and B [n,k] without
+// materializing the transpose. Bitwise-equal to MatMul(a, Transpose2D(b)).
+func MatMulTB(a, b *Tensor, mixed bool) *Tensor {
+	m, _, n := checkMatMulTB(a, b)
+	return MatMulTBInto(New(m, n), a, b, mixed)
+}
+
+// MatMulTBInto computes dst = A × Bᵀ into dst [m,n], overwriting it.
+func MatMulTBInto(dst, a, b *Tensor, mixed bool) *Tensor {
+	m, k, n := checkMatMulTB(a, b)
+	checkDst("MatMulTBInto", dst, m, n)
+	ad, bd, cd := a.Data, b.Data, dst.Data
+	if !runParallel(m, m*k*n) {
+		gemmTB(cd, ad, bd, k, n, mixed, 0, m)
+		return dst
+	}
+	parallelRows(m, m*k*n, func(lo, hi int) {
+		gemmTB(cd, ad, bd, k, n, mixed, lo, hi)
+	})
+	return dst
+}
+
+func checkMatMul(a, b *Tensor) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v × %v", a.Shape, b.Shape))
+	}
+	if a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v × %v", a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1], b.Shape[1]
+}
+
+func checkMatMulTA(a, b *Tensor) (k, m, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTA requires 2-D operands, got %v × %v", a.Shape, b.Shape))
+	}
+	if a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTA inner dimensions differ: %vᵀ × %v", a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1], b.Shape[1]
+}
+
+func checkMatMulTB(a, b *Tensor) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTB requires 2-D operands, got %v × %v", a.Shape, b.Shape))
+	}
+	if a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTB inner dimensions differ: %v × %vᵀ", a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1], b.Shape[0]
+}
+
+func checkDst(op string, dst *Tensor, m, n int) {
+	if len(dst.Data) != m*n {
+		panic(fmt.Sprintf("tensor: %s destination holds %d elements, result needs %d×%d", op, len(dst.Data), m, n))
+	}
+}
+
+func zero(s []float32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// gemmNN computes rows [lo,hi) of C = A×B with the ikj loop order (B rows
+// stream sequentially) and 4-row register blocking: one pass over a B row
+// feeds four C rows, quartering B traffic. The skip rule (a-element exactly
+// zero, tested before bfloat16 rounding) and ascending-k accumulation match
+// the original serial kernel exactly.
+func gemmNN(c, a, b []float32, k, n int, mixed bool, lo, hi int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		c0 := c[(i+0)*n : (i+0)*n+n]
+		c1 := c[(i+1)*n : (i+1)*n+n]
+		c2 := c[(i+2)*n : (i+2)*n+n]
+		c3 := c[(i+3)*n : (i+3)*n+n]
+		for kk := 0; kk < k; kk++ {
+			av0 := a[(i+0)*k+kk]
+			av1 := a[(i+1)*k+kk]
+			av2 := a[(i+2)*k+kk]
+			av3 := a[(i+3)*k+kk]
+			if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+				continue
+			}
+			bk := b[kk*n : kk*n+n]
+			if !mixed && av0 != 0 && av1 != 0 && av2 != 0 && av3 != 0 {
+				for j, bv := range bk {
+					c0[j] += av0 * bv
+					c1[j] += av1 * bv
+					c2[j] += av2 * bv
+					c3[j] += av3 * bv
+				}
+				continue
+			}
+			axpyRow(c0, bk, av0, mixed)
+			axpyRow(c1, bk, av1, mixed)
+			axpyRow(c2, bk, av2, mixed)
+			axpyRow(c3, bk, av3, mixed)
+		}
+	}
+	for ; i < hi; i++ {
+		ci := c[i*n : i*n+n]
+		for kk := 0; kk < k; kk++ {
+			av := a[i*k+kk]
+			if av == 0 {
+				continue
+			}
+			bk := b[kk*n : kk*n+n]
+			axpyRow(ci, bk, av, mixed)
+		}
+	}
+}
+
+// axpyRow accumulates ci += av·bk, or the bfloat16-rounded MAC version. A
+// zero av is skipped entirely, matching the serial kernel's skip rule.
+func axpyRow(ci, bk []float32, av float32, mixed bool) {
+	if av == 0 {
+		return
+	}
+	if mixed {
+		av = numerics.RoundBF16(av)
+		for j, bv := range bk {
+			ci[j] += numerics.RoundBF16(av * numerics.RoundBF16(bv))
+		}
+		return
+	}
+	for j, bv := range bk {
+		ci[j] += av * bv
+	}
+}
+
+// gemmTA computes rows [lo,hi) of C = Aᵀ×B for A [k,m]. The a-operand is
+// read down a column (stride m); 4-row blocking turns those reads into
+// contiguous 4-element loads while keeping per-element accumulation order
+// identical to transpose-then-multiply.
+func gemmTA(c, a, b []float32, k, m, n int, mixed bool, lo, hi int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		c0 := c[(i+0)*n : (i+0)*n+n]
+		c1 := c[(i+1)*n : (i+1)*n+n]
+		c2 := c[(i+2)*n : (i+2)*n+n]
+		c3 := c[(i+3)*n : (i+3)*n+n]
+		for kk := 0; kk < k; kk++ {
+			arow := a[kk*m+i : kk*m+i+4]
+			av0, av1, av2, av3 := arow[0], arow[1], arow[2], arow[3]
+			if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+				continue
+			}
+			bk := b[kk*n : kk*n+n]
+			if !mixed && av0 != 0 && av1 != 0 && av2 != 0 && av3 != 0 {
+				for j, bv := range bk {
+					c0[j] += av0 * bv
+					c1[j] += av1 * bv
+					c2[j] += av2 * bv
+					c3[j] += av3 * bv
+				}
+				continue
+			}
+			axpyRow(c0, bk, av0, mixed)
+			axpyRow(c1, bk, av1, mixed)
+			axpyRow(c2, bk, av2, mixed)
+			axpyRow(c3, bk, av3, mixed)
+		}
+	}
+	for ; i < hi; i++ {
+		ci := c[i*n : i*n+n]
+		for kk := 0; kk < k; kk++ {
+			av := a[kk*m+i]
+			if av == 0 {
+				continue
+			}
+			axpyRow(ci, b[kk*n:kk*n+n], av, mixed)
+		}
+	}
+}
+
+// gemmTB computes rows [lo,hi) of C = A×Bᵀ for B [n,k] as dot products over
+// two sequential streams, blocked four output columns at a time so the four
+// independent accumulator chains hide FP-add latency. Each accumulator
+// receives its addends in the same ascending-k order, with the same a==0
+// skip rule, as the serial kernel running on a materialized Bᵀ, so results
+// are bitwise identical (blocking interleaves only *different* elements'
+// accumulations, never the addends of one element).
+func gemmTB(c, a, b []float32, k, n int, mixed bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : i*k+k]
+		ci := c[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : j*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			var acc0, acc1, acc2, acc3 float32
+			if mixed {
+				for kk, av := range ai {
+					if av == 0 {
+						continue
+					}
+					avr := numerics.RoundBF16(av)
+					acc0 += numerics.RoundBF16(avr * numerics.RoundBF16(b0[kk]))
+					acc1 += numerics.RoundBF16(avr * numerics.RoundBF16(b1[kk]))
+					acc2 += numerics.RoundBF16(avr * numerics.RoundBF16(b2[kk]))
+					acc3 += numerics.RoundBF16(avr * numerics.RoundBF16(b3[kk]))
+				}
+			} else {
+				for kk, av := range ai {
+					if av == 0 {
+						continue
+					}
+					acc0 += av * b0[kk]
+					acc1 += av * b1[kk]
+					acc2 += av * b2[kk]
+					acc3 += av * b3[kk]
+				}
+			}
+			ci[j], ci[j+1], ci[j+2], ci[j+3] = acc0, acc1, acc2, acc3
+		}
+		for ; j < n; j++ {
+			bj := b[j*k : j*k+k]
+			var acc float32
+			if mixed {
+				for kk, av := range ai {
+					if av == 0 {
+						continue
+					}
+					acc += numerics.RoundBF16(numerics.RoundBF16(av) * numerics.RoundBF16(bj[kk]))
+				}
+			} else {
+				for kk, av := range ai {
+					if av == 0 {
+						continue
+					}
+					acc += av * bj[kk]
+				}
+			}
+			ci[j] = acc
+		}
+	}
+}

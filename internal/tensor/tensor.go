@@ -221,63 +221,6 @@ func (t *Tensor) AbsMax() float32 {
 // FirstNonFinite returns the index of the first NaN/Inf element, or -1.
 func (t *Tensor) FirstNonFinite() int { return numerics.HasNonFinite(t.Data) }
 
-// MatMul computes C = A × B for 2-D tensors A [m,k] and B [k,n] in FP32.
-func MatMul(a, b *Tensor) *Tensor {
-	m, k, n := checkMatMul(a, b)
-	c := New(m, n)
-	matmulInto(c.Data, a.Data, b.Data, m, k, n, false)
-	return c
-}
-
-// MatMulMixed computes C = A × B with each scalar product rounded through
-// bfloat16 before being accumulated in FP32 — the modeled accelerator's MAC
-// precision (Sec 3.1: "bfloat16 and FP32 are used for MAC and element-wise
-// operations, respectively").
-func MatMulMixed(a, b *Tensor) *Tensor {
-	m, k, n := checkMatMul(a, b)
-	c := New(m, n)
-	matmulInto(c.Data, a.Data, b.Data, m, k, n, true)
-	return c
-}
-
-func checkMatMul(a, b *Tensor) (m, k, n int) {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v × %v", a.Shape, b.Shape))
-	}
-	if a.Shape[1] != b.Shape[0] {
-		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v × %v", a.Shape, b.Shape))
-	}
-	return a.Shape[0], a.Shape[1], b.Shape[1]
-}
-
-// matmulInto is the shared inner kernel. The ikj loop order keeps B accesses
-// sequential; with mixed=true each product is rounded to bfloat16, modeling
-// the accelerator MAC units.
-func matmulInto(c, a, b []float32, m, k, n int, mixed bool) {
-	for i := 0; i < m; i++ {
-		ci := c[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := a[i*k+kk]
-			if av == 0 {
-				continue
-			}
-			if mixed {
-				av = numerics.RoundBF16(av)
-			}
-			bk := b[kk*n : (kk+1)*n]
-			if mixed {
-				for j, bv := range bk {
-					ci[j] += numerics.RoundBF16(av * numerics.RoundBF16(bv))
-				}
-			} else {
-				for j, bv := range bk {
-					ci[j] += av * bv
-				}
-			}
-		}
-	}
-}
-
 // Transpose2D returns the transpose of a 2-D tensor.
 func Transpose2D(a *Tensor) *Tensor {
 	if len(a.Shape) != 2 {
@@ -318,7 +261,22 @@ func Im2Col(in *Tensor, p ConvParams) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: conv output %dx%d is empty for input %v params %+v", oh, ow, in.Shape, p))
 	}
-	cols := New(c*p.KH*p.KW, n*oh*ow)
+	return Im2ColInto(New(c*p.KH*p.KW, n*oh*ow), in, p)
+}
+
+// Im2ColInto performs the Im2Col unfolding into a caller-provided matrix of
+// shape [C*KH*KW, N*OH*OW] (every element is overwritten), returning cols.
+// With a Workspace-owned destination, steady-state convolutions reuse one
+// scratch buffer instead of allocating the unfolded matrix per call.
+func Im2ColInto(cols, in *Tensor, p ConvParams) *Tensor {
+	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv output %dx%d is empty for input %v params %+v", oh, ow, in.Shape, p))
+	}
+	if len(cols.Data) != c*p.KH*p.KW*n*oh*ow {
+		panic(fmt.Sprintf("tensor: Im2ColInto destination holds %d elements, need %d", len(cols.Data), c*p.KH*p.KW*n*oh*ow))
+	}
 	colW := n * oh * ow
 	for ch := 0; ch < c; ch++ {
 		for kh := 0; kh < p.KH; kh++ {
@@ -348,8 +306,15 @@ func Im2Col(in *Tensor, p ConvParams) *Tensor {
 // summing overlapping contributions — the adjoint of Im2Col, used for the
 // input-gradient computation in the backward pass.
 func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
+	return Col2ImInto(New(n, c, h, w), cols, p)
+}
+
+// Col2ImInto performs the Col2Im folding into a caller-provided [N,C,H,W]
+// tensor, which is zeroed first, and returns it.
+func Col2ImInto(out, cols *Tensor, p ConvParams) *Tensor {
+	n, c, h, w := out.Shape[0], out.Shape[1], out.Shape[2], out.Shape[3]
 	oh, ow := p.OutSize(h, w)
-	out := New(n, c, h, w)
+	out.Zero()
 	colW := n * oh * ow
 	for ch := 0; ch < c; ch++ {
 		for kh := 0; kh < p.KH; kh++ {
@@ -381,22 +346,28 @@ func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
 // [K,C,KH,KW], producing [N,K,OH,OW]. When mixed is true the MAC products go
 // through bfloat16 rounding.
 func Conv2D(in, kernel *Tensor, p ConvParams, mixed bool) *Tensor {
+	out, _ := Conv2DForwardWS(nil, in, kernel, p, mixed)
+	return out
+}
+
+// Conv2DForwardWS is the workspace-aware convolution forward. All scratch
+// (the unfolded im2col matrix, the pre-transpose output) and the output
+// itself come from ws, so repeated same-shape calls allocate nothing; a nil
+// ws falls back to fresh allocations. It returns the output and the im2col
+// matrix, which the caller may hand back to Conv2DBackwardWS to skip the
+// re-lowering (valid as long as the input has not changed since).
+func Conv2DForwardWS(ws *Workspace, in, kernel *Tensor, p ConvParams, mixed bool) (out, cols *Tensor) {
 	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	k := kernel.Shape[0]
 	if kernel.Shape[1] != c || kernel.Shape[2] != p.KH || kernel.Shape[3] != p.KW {
 		panic(fmt.Sprintf("tensor: kernel shape %v incompatible with input %v params %+v", kernel.Shape, in.Shape, p))
 	}
 	oh, ow := p.OutSize(h, w)
-	cols := Im2Col(in, p)
+	cols = Im2ColInto(ws.Get("conv.cols", c*p.KH*p.KW, n*oh*ow), in, p)
 	w2d := kernel.Reshape(k, c*p.KH*p.KW)
-	var out2d *Tensor
-	if mixed {
-		out2d = MatMulMixed(w2d, cols)
-	} else {
-		out2d = MatMul(w2d, cols)
-	}
+	out2d := MatMulInto(ws.Get("conv.out2d", k, n*oh*ow), w2d, cols, mixed)
 	// out2d is [K, N*OH*OW]; transpose batch to the front → [N,K,OH,OW].
-	out := New(n, k, oh, ow)
+	out = ws.Get("conv.out", n, k, oh, ow)
 	spatial := oh * ow
 	for kk := 0; kk < k; kk++ {
 		for b := 0; b < n; b++ {
@@ -405,7 +376,7 @@ func Conv2D(in, kernel *Tensor, p ConvParams, mixed bool) *Tensor {
 			copy(out.Data[dstOff:dstOff+spatial], out2d.Data[srcOff:srcOff+spatial])
 		}
 	}
-	return out
+	return out, cols
 }
 
 // Conv2DBackward computes the gradients of a convolution given the output
@@ -413,13 +384,24 @@ func Conv2D(in, kernel *Tensor, p ConvParams, mixed bool) *Tensor {
 // [K,C,KH,KW]). These are the "input gradient operations" and "weight
 // gradient operations" of Table 1's terminology.
 func Conv2DBackward(in, kernel, gradOut *Tensor, p ConvParams, mixed bool) (gradIn, gradKernel *Tensor) {
+	return Conv2DBackwardWS(nil, in, kernel, gradOut, nil, p, mixed)
+}
+
+// Conv2DBackwardWS is the workspace-aware convolution backward. cols, when
+// non-nil, must be the im2col matrix of in (as returned by Conv2DForwardWS
+// for the same input) and skips the re-lowering; pass nil to recompute it.
+// The weight gradient is computed as g2d × colsᵀ and the column gradient as
+// W2dᵀ × g2d via the fused-transpose kernels, so no transpose is ever
+// materialized. Returned tensors are workspace-owned: valid until the next
+// same-key Get, which for the layers means until the next backward call.
+func Conv2DBackwardWS(ws *Workspace, in, kernel, gradOut, cols *Tensor, p ConvParams, mixed bool) (gradIn, gradKernel *Tensor) {
 	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
 	k := kernel.Shape[0]
 	oh, ow := p.OutSize(h, w)
 	spatial := oh * ow
 
 	// Rearrange gradOut [N,K,OH,OW] to [K, N*OH*OW].
-	g2d := New(k, n*spatial)
+	g2d := ws.Get("conv.g2d", k, n*spatial)
 	for b := 0; b < n; b++ {
 		for kk := 0; kk < k; kk++ {
 			srcOff := (b*k + kk) * spatial
@@ -428,27 +410,18 @@ func Conv2DBackward(in, kernel, gradOut *Tensor, p ConvParams, mixed bool) (grad
 		}
 	}
 
-	cols := Im2Col(in, p)
-
-	// gradKernel = g2d × colsᵀ  → [K, C*KH*KW].
-	colsT := Transpose2D(cols)
-	var gk2d *Tensor
-	if mixed {
-		gk2d = MatMulMixed(g2d, colsT)
-	} else {
-		gk2d = MatMul(g2d, colsT)
+	if cols == nil {
+		cols = Im2ColInto(ws.Get("conv.cols", c*p.KH*p.KW, n*spatial), in, p)
 	}
-	gradKernel = gk2d.Reshape(k, c, p.KH, p.KW)
+
+	// gradKernel = g2d × colsᵀ  → [K, C*KH*KW], shaped directly as the
+	// 4-D kernel gradient (the Into kernels only require matching size).
+	gradKernel = MatMulTBInto(ws.Get("conv.gk", k, c, p.KH, p.KW), g2d, cols, mixed)
 
 	// gradCols = W2dᵀ × g2d  → [C*KH*KW, N*OH*OW]; fold back to input shape.
-	w2dT := Transpose2D(kernel.Reshape(k, c*p.KH*p.KW))
-	var gcols *Tensor
-	if mixed {
-		gcols = MatMulMixed(w2dT, g2d)
-	} else {
-		gcols = MatMul(w2dT, g2d)
-	}
-	gradIn = Col2Im(gcols, n, c, h, w, p)
+	w2d := kernel.Reshape(k, c*p.KH*p.KW)
+	gcols := MatMulTAInto(ws.Get("conv.gcols", c*p.KH*p.KW, n*spatial), w2d, g2d, mixed)
+	gradIn = Col2ImInto(ws.Get("conv.gin", n, c, h, w), gcols, p)
 	return gradIn, gradKernel
 }
 

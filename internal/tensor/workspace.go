@@ -1,0 +1,61 @@
+package tensor
+
+// Workspace is a shape-keyed scratch-buffer arena. Layers and kernels use
+// it so that steady-state training iterations — where every tensor shape
+// repeats iteration after iteration — allocate nothing: the first call for
+// a key allocates, every subsequent same-size call returns the same buffer.
+//
+// Lifetime rules:
+//
+//   - Get(key, ...) returns a buffer that stays valid until the next Get
+//     with the same key. Callers therefore use one workspace per layer (or
+//     per logical operation) and distinct keys for buffers that are alive
+//     simultaneously.
+//   - Buffer contents are undefined on return from Get; the caller must
+//     overwrite every element (the Into kernels do). GetZeroed clears the
+//     buffer first for accumulation uses.
+//   - A Workspace is not safe for concurrent use. Device-parallel training
+//     is race-free because every model replica owns its layers and each
+//     layer owns its workspace.
+//   - A nil *Workspace is valid and simply allocates fresh tensors,
+//     preserving the original allocation behaviour.
+//
+// When a key is re-requested with a different element count (e.g. the full
+// test batch during evaluation vs the small training shard), the buffer is
+// reallocated; alternating shapes therefore defeat reuse for that key but
+// stay correct.
+type Workspace struct {
+	bufs map[string]*Tensor
+}
+
+// NewWorkspace creates an empty arena.
+func NewWorkspace() *Workspace { return &Workspace{bufs: make(map[string]*Tensor)} }
+
+// Get returns the cached tensor for key, reallocating only when the
+// requested element count differs from the cached one. The shape header is
+// rewritten in place, so steady-state calls perform zero allocations.
+// Contents are undefined; the caller must overwrite them.
+func (ws *Workspace) Get(key string, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if ws == nil {
+		return New(shape...)
+	}
+	t := ws.bufs[key]
+	if t == nil || len(t.Data) != n {
+		t = New(shape...)
+		ws.bufs[key] = t
+		return t
+	}
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}
+
+// GetZeroed is Get with the returned buffer cleared to zero.
+func (ws *Workspace) GetZeroed(key string, shape ...int) *Tensor {
+	t := ws.Get(key, shape...)
+	t.Zero()
+	return t
+}

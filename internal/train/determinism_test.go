@@ -1,0 +1,129 @@
+package train_test
+
+// Determinism regression test for the kernel layer: the parallel blocked
+// GEMM kernels and device-parallel training stepping must be
+// bitwise-identical to the serial implementations, because the recovery
+// technique (Sec 5.2) relies on exact re-execution of past iterations and
+// the FI campaigns compare runs against a fault-free reference trace.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/fault"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/workloads"
+)
+
+// resnetTrace trains the Resnet workload for iters iterations under the
+// current kernel settings and returns every iteration loss plus the final
+// replica-0 weights.
+func resnetTrace(iters int, deviceParallel bool) ([]float64, []float32) {
+	w := workloads.Resnet()
+	e := w.NewEngine(rng.Seed{State: 42, Stream: 7})
+	e.SetDeviceParallel(deviceParallel)
+	losses := make([]float64, iters)
+	for i := 0; i < iters; i++ {
+		losses[i] = e.RunIteration(i).Loss
+	}
+	var weights []float32
+	for _, p := range e.Replica(0).Params() {
+		weights = append(weights, p.Value.Data...)
+	}
+	return losses, weights
+}
+
+func TestTrainingBitwiseDeterminism(t *testing.T) {
+	const iters = 6
+
+	type variant struct {
+		name           string
+		workers        int
+		threshold      int
+		deviceParallel bool
+	}
+	variants := []variant{
+		// Reference: serial kernels (huge threshold keeps every matmul on
+		// the serial path regardless of worker count).
+		{"serial", 1, math.MaxInt, false},
+		// Parallel kernel path exercised with a single worker...
+		{"parallel-1worker", 1, 0, false},
+		// ...and with many workers (threshold 0 forces the parallel path
+		// even for the small test shapes).
+		{"parallel-8workers", 8, 0, false},
+		// Device-parallel stepping on top of parallel kernels.
+		{"device-parallel", 8, 0, true},
+	}
+
+	var refLosses []float64
+	var refWeights []float32
+	for _, v := range variants {
+		oldW := tensor.SetWorkers(v.workers)
+		oldT := tensor.SetParallelThreshold(v.threshold)
+		losses, weights := resnetTrace(iters, v.deviceParallel)
+		tensor.SetWorkers(oldW)
+		tensor.SetParallelThreshold(oldT)
+
+		if refLosses == nil {
+			refLosses, refWeights = losses, weights
+			continue
+		}
+		for i := range losses {
+			if math.Float64bits(losses[i]) != math.Float64bits(refLosses[i]) {
+				t.Fatalf("%s: loss@%d = %v, serial reference = %v (not bitwise identical)",
+					v.name, i, losses[i], refLosses[i])
+			}
+		}
+		if len(weights) != len(refWeights) {
+			t.Fatalf("%s: %d weights vs %d in reference", v.name, len(weights), len(refWeights))
+		}
+		for i := range weights {
+			if math.Float32bits(weights[i]) != math.Float32bits(refWeights[i]) {
+				t.Fatalf("%s: weight[%d] = %v, serial reference = %v (not bitwise identical)",
+					v.name, i, weights[i], refWeights[i])
+			}
+		}
+	}
+}
+
+// TestDeviceParallelWithInjection checks that fault injection bookkeeping
+// (one-shot fire state, corrupted-element counts) behaves identically under
+// sequential and parallel device stepping.
+func TestDeviceParallelWithInjection(t *testing.T) {
+	run := func(deviceParallel bool) ([]float64, bool, int) {
+		w := workloads.Resnet()
+		e := w.NewEngine(rng.Seed{State: 9, Stream: 3})
+		e.SetDeviceParallel(deviceParallel)
+		e.SetInjection(&fault.Injection{
+			Kind: accel.GlobalG1, LayerIdx: 1, Pass: fault.Forward,
+			Iteration: 2, CycleFrac: 0.25, N: 4,
+			Seed: rng.Seed{State: 5, Stream: 5},
+		})
+		var injected bool
+		var elems int
+		losses := make([]float64, 5)
+		for i := range losses {
+			st := e.RunIteration(i)
+			losses[i] = st.Loss
+			if st.Injected {
+				injected = true
+				elems = st.InjectedElems
+			}
+		}
+		return losses, injected, elems
+	}
+
+	seqLoss, seqInj, seqElems := run(false)
+	parLoss, parInj, parElems := run(true)
+	if seqInj != parInj || seqElems != parElems {
+		t.Fatalf("injection bookkeeping diverged: sequential (%v, %d) vs parallel (%v, %d)",
+			seqInj, seqElems, parInj, parElems)
+	}
+	for i := range seqLoss {
+		if math.Float64bits(seqLoss[i]) != math.Float64bits(parLoss[i]) {
+			t.Fatalf("loss@%d: sequential %v vs device-parallel %v", i, seqLoss[i], parLoss[i])
+		}
+	}
+}

@@ -22,8 +22,9 @@ package train
 import (
 	"fmt"
 	"math"
-	"repro/internal/accel"
+	"sync"
 
+	"repro/internal/accel"
 	"repro/internal/data"
 	"repro/internal/fault"
 	"repro/internal/nn"
@@ -74,6 +75,12 @@ type Engine struct {
 	// lastResults caches per-device loss results of the latest iteration
 	// (used by detection diagnostics).
 	lastNonFinite string
+
+	// deviceParallel runs the per-device forward/backward passes on
+	// separate goroutines (see SetDeviceParallel); devResults is the
+	// reused per-device result staging slice.
+	deviceParallel bool
+	devResults     []devStats
 }
 
 // New creates an engine. The loader's batch size must equal
@@ -137,6 +144,22 @@ func (e *Engine) SetInjections(injs []fault.Injection) {
 	e.injectDevice = 0
 }
 
+// SetDeviceParallel selects whether RunIteration steps the devices on
+// separate goroutines (true) or sequentially (false, the default). The two
+// modes are bitwise-identical: each device touches only its own replica,
+// its own (iteration, device) RNG stream, and — on the injection device
+// only — the injection bookkeeping, and all cross-device reductions run
+// serially in ascending device order after the join. A non-nil
+// ForwardMonitor must be safe for concurrent calls when this is enabled
+// (the built-in range-restriction monitor uses atomics and qualifies).
+// Campaigns that already run experiments in parallel should usually leave
+// this off — experiment-level parallelism saturates the cores with less
+// coordination (see experiment.Config.DeviceParallel).
+func (e *Engine) SetDeviceParallel(on bool) { e.deviceParallel = on }
+
+// DeviceParallel reports whether device-parallel stepping is enabled.
+func (e *Engine) DeviceParallel() bool { return e.deviceParallel }
+
 // ctxRand returns the deterministic RNG for (iteration, device).
 func (e *Engine) ctxRand(iter, device int) *rng.Rand {
 	return e.seedRand.Split(uint64(iter)).Split(uint64(device) + 1)
@@ -167,8 +190,130 @@ type IterStats struct {
 	InjectedElems int
 }
 
-// RunIteration executes global iteration iter: per-device forward/backward,
-// gradient averaging, one optimizer step, and weight synchronization.
+// devStats collects the results of one device's forward/backward so that
+// sequential and parallel device stepping can merge them in the same fixed
+// device order.
+type devStats struct {
+	loss          float64
+	correct       int
+	nonFiniteAt   string
+	injected      bool
+	injectedElems int
+}
+
+// deviceStep runs device d's shard of iteration iter: forward pass (with
+// injection and monitoring hooks), loss, and backward pass, accumulating
+// gradients into the device's replica. It touches only per-device state —
+// replica d, the (iter, d) RNG stream, and (on the injection device only)
+// the injection bookkeeping — so distinct devices may run concurrently.
+func (e *Engine) deviceStep(iter, d int, batch data.Batch, exLen int) devStats {
+	var ds devStats
+	perDev := e.cfg.PerDeviceBatch
+
+	// Shard the global batch.
+	lo := d * perDev
+	shardShape := append([]int{perDev}, batch.X.Shape[1:]...)
+	x := tensor.FromSlice(batch.X.Data[lo*exLen:(lo+perDev)*exLen], shardShape...)
+	y := batch.Y[lo : lo+perDev]
+
+	ctx := &nn.Context{Training: true, Rand: e.ctxRand(iter, d)}
+	model := e.replicas[d]
+
+	var fwdHook nn.ForwardHook
+	var bwdHook nn.BackwardHook
+	// Collect the injections that fire this (iteration, device),
+	// grouped by pass. An injection is one-shot: once fired it never
+	// recurs, so re-execution during recovery runs clean. Only the
+	// injection device reads or writes e.injFired, so device-parallel
+	// stepping does not race on it.
+	var fwdInjs, bwdInjs, wgtInjs []int
+	if d == e.injectDevice {
+		for i, inj := range e.injections {
+			if e.injFired[i] || inj.Iteration != iter {
+				continue
+			}
+			if inj.LayerIdx < 0 || inj.LayerIdx >= model.Len() {
+				panic(fmt.Sprintf("train: injection targets layer %d but model has %d layers", inj.LayerIdx, model.Len()))
+			}
+			switch inj.Pass {
+			case fault.Forward:
+				fwdInjs = append(fwdInjs, i)
+			case fault.BackwardInput:
+				bwdInjs = append(bwdInjs, i)
+			case fault.BackwardWeight:
+				wgtInjs = append(wgtInjs, i)
+			}
+		}
+	}
+	fire := func(i int, t *tensor.Tensor, axis int) {
+		res := e.injections[i].Apply(t, axis)
+		e.injFired[i] = true
+		ds.injected = true
+		ds.injectedElems += len(res.Indices)
+	}
+	if len(fwdInjs) > 0 {
+		fwdHook = func(li int, out *tensor.Tensor) *tensor.Tensor {
+			for _, i := range fwdInjs {
+				if e.injections[i].LayerIdx == li && !e.injFired[i] {
+					fire(i, out, chanAxis(out.Shape))
+				}
+			}
+			return nil
+		}
+	}
+	if len(bwdInjs) > 0 {
+		bwdHook = func(li int, grad *tensor.Tensor) *tensor.Tensor {
+			for _, i := range bwdInjs {
+				if e.injections[i].LayerIdx == li && !e.injFired[i] {
+					fire(i, grad, chanAxis(grad.Shape))
+				}
+			}
+			return nil
+		}
+	}
+
+	if e.ForwardMonitor != nil {
+		inner := fwdHook
+		dev := d
+		fwdHook = func(li int, o *tensor.Tensor) *tensor.Tensor {
+			if inner != nil {
+				if replaced := inner(li, o); replaced != nil {
+					o = replaced
+				}
+			}
+			e.ForwardMonitor(dev, li, o)
+			return o
+		}
+	}
+	out := model.Forward(ctx, x, fwdHook)
+	res := e.loss.Eval(out, y)
+	ds.loss = res.Loss
+	ds.correct = res.Correct
+	if math.IsNaN(res.Loss) || math.IsInf(res.Loss, 0) {
+		ds.nonFiniteAt = fmt.Sprintf("loss@device%d", d)
+	}
+	model.Backward(res.GradLogits, bwdHook)
+
+	for _, i := range wgtInjs {
+		// Corrupt the layer's primary weight-gradient tensor (the
+		// output of the weight-gradient operation on the accelerator,
+		// laid out per the transposed Sec-3.1 plan).
+		params := model.Layers[e.injections[i].LayerIdx].Layer.Params()
+		if len(params) > 0 && !e.injFired[i] {
+			plan := accel.PlanFor(accel.OpWeightGrad, params[0].Grad.Shape)
+			fire(i, params[0].Grad, plan.ChanAxis)
+		}
+	}
+	return ds
+}
+
+// RunIteration executes global iteration iter: per-device forward/backward
+// (concurrently when SetDeviceParallel(true) — each device only touches its
+// own replica and RNG stream), fixed-order gradient averaging, one
+// optimizer step, and weight synchronization. Results are bitwise-identical
+// between sequential and parallel device stepping: devices are
+// independent, and the cross-device reductions below always run serially
+// in ascending device order.
 func (e *Engine) RunIteration(iter int) IterStats {
 	stats := IterStats{Iteration: iter}
 	batch := e.loader.Batch(iter)
@@ -178,101 +323,41 @@ func (e *Engine) RunIteration(iter int) IterStats {
 		exLen *= s
 	}
 
+	if cap(e.devResults) < e.cfg.Devices {
+		e.devResults = make([]devStats, e.cfg.Devices)
+	}
+	results := e.devResults[:e.cfg.Devices]
+	if e.deviceParallel && e.cfg.Devices > 1 {
+		var wg sync.WaitGroup
+		for d := 0; d < e.cfg.Devices; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				results[d] = e.deviceStep(iter, d, batch, exLen)
+			}(d)
+		}
+		wg.Wait()
+	} else {
+		for d := 0; d < e.cfg.Devices; d++ {
+			results[d] = e.deviceStep(iter, d, batch, exLen)
+		}
+	}
+
+	// Merge per-device results in ascending device order (the order the
+	// sequential loop produced them in).
 	var totalLoss float64
 	var totalCorrect int
-	for d := 0; d < e.cfg.Devices; d++ {
-		// Shard the global batch.
-		lo := d * perDev
-		shardShape := append([]int{perDev}, batch.X.Shape[1:]...)
-		x := tensor.FromSlice(batch.X.Data[lo*exLen:(lo+perDev)*exLen], shardShape...)
-		y := batch.Y[lo : lo+perDev]
-
-		ctx := &nn.Context{Training: true, Rand: e.ctxRand(iter, d)}
-		model := e.replicas[d]
-
-		var fwdHook nn.ForwardHook
-		var bwdHook nn.BackwardHook
-		// Collect the injections that fire this (iteration, device),
-		// grouped by pass. An injection is one-shot: once fired it never
-		// recurs, so re-execution during recovery runs clean.
-		var fwdInjs, bwdInjs, wgtInjs []int
-		if d == e.injectDevice {
-			for i, inj := range e.injections {
-				if e.injFired[i] || inj.Iteration != iter {
-					continue
-				}
-				if inj.LayerIdx < 0 || inj.LayerIdx >= model.Len() {
-					panic(fmt.Sprintf("train: injection targets layer %d but model has %d layers", inj.LayerIdx, model.Len()))
-				}
-				switch inj.Pass {
-				case fault.Forward:
-					fwdInjs = append(fwdInjs, i)
-				case fault.BackwardInput:
-					bwdInjs = append(bwdInjs, i)
-				case fault.BackwardWeight:
-					wgtInjs = append(wgtInjs, i)
-				}
-			}
-		}
-		fire := func(i int, t *tensor.Tensor, axis int) {
-			res := e.injections[i].Apply(t, axis)
-			e.injFired[i] = true
+	for d := range results {
+		r := &results[d]
+		totalLoss += r.loss
+		totalCorrect += r.correct
+		if r.injected {
 			stats.Injected = true
-			stats.InjectedElems += len(res.Indices)
+			stats.InjectedElems += r.injectedElems
 		}
-		if len(fwdInjs) > 0 {
-			fwdHook = func(li int, out *tensor.Tensor) *tensor.Tensor {
-				for _, i := range fwdInjs {
-					if e.injections[i].LayerIdx == li && !e.injFired[i] {
-						fire(i, out, chanAxis(out.Shape))
-					}
-				}
-				return nil
-			}
-		}
-		if len(bwdInjs) > 0 {
-			bwdHook = func(li int, grad *tensor.Tensor) *tensor.Tensor {
-				for _, i := range bwdInjs {
-					if e.injections[i].LayerIdx == li && !e.injFired[i] {
-						fire(i, grad, chanAxis(grad.Shape))
-					}
-				}
-				return nil
-			}
-		}
-
-		if e.ForwardMonitor != nil {
-			inner := fwdHook
-			dev := d
-			fwdHook = func(li int, o *tensor.Tensor) *tensor.Tensor {
-				if inner != nil {
-					if replaced := inner(li, o); replaced != nil {
-						o = replaced
-					}
-				}
-				e.ForwardMonitor(dev, li, o)
-				return o
-			}
-		}
-		out := model.Forward(ctx, x, fwdHook)
-		res := e.loss.Eval(out, y)
-		totalLoss += res.Loss
-		totalCorrect += res.Correct
-		if !stats.NonFinite && (math.IsNaN(res.Loss) || math.IsInf(res.Loss, 0)) {
+		if !stats.NonFinite && r.nonFiniteAt != "" {
 			stats.NonFinite = true
-			stats.NonFiniteAt = fmt.Sprintf("loss@device%d", d)
-		}
-		model.Backward(res.GradLogits, bwdHook)
-
-		for _, i := range wgtInjs {
-			// Corrupt the layer's primary weight-gradient tensor (the
-			// output of the weight-gradient operation on the accelerator,
-			// laid out per the transposed Sec-3.1 plan).
-			params := model.Layers[e.injections[i].LayerIdx].Layer.Params()
-			if len(params) > 0 && !e.injFired[i] {
-				plan := accel.PlanFor(accel.OpWeightGrad, params[0].Grad.Shape)
-				fire(i, params[0].Grad, plan.ChanAxis)
-			}
+			stats.NonFiniteAt = r.nonFiniteAt
 		}
 	}
 

@@ -1,0 +1,182 @@
+// Kernel-layer benchmarks: blocked/parallel GEMM and workspace-reusing
+// convolution against the seed repository's serial, allocating kernels.
+//
+// Run with:
+//
+//	go test -bench 'Kernel' -benchmem -run '^$' .
+//
+// The seed kernels are kept here verbatim as the comparison baseline (and
+// as the bitwise reference — see internal/tensor/matmul_test.go). On a
+// multi-core host the blocked+parallel kernels should show ≥2× on the large
+// GEMM/conv shapes; on any host the allocs/op columns show the workspace
+// effect (steady-state training iterations allocate near-zero kernel
+// buffers).
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/workloads"
+)
+
+// seedMatMul is the seed repository's serial ikj matmul (pre-optimization),
+// the baseline the blocked kernels are measured against.
+func seedMatMul(a, b *tensor.Tensor) *tensor.Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := tensor.New(m, n)
+	for i := 0; i < m; i++ {
+		ci := out.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := a.Data[i*k+kk]
+			if av == 0 {
+				continue
+			}
+			bk := b.Data[kk*n : (kk+1)*n]
+			for j, bv := range bk {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// seedConv2D is the seed's conv forward: fresh im2col + transpose-free
+// matmul + fresh output buffers every call.
+func seedConv2D(in, kernel *tensor.Tensor, p tensor.ConvParams) *tensor.Tensor {
+	return tensor.Conv2D(in, kernel, p, false)
+}
+
+func benchMats(n int) (*tensor.Tensor, *tensor.Tensor) {
+	r := rng.NewFromInt(31)
+	a := tensor.New(n, n)
+	b := tensor.New(n, n)
+	a.FillNormal(r, 0, 1)
+	b.FillNormal(r, 0, 1)
+	return a, b
+}
+
+func BenchmarkKernel_MatMulSeed(b *testing.B) {
+	x, y := benchMats(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = seedMatMul(x, y)
+	}
+}
+
+func BenchmarkKernel_MatMulBlocked(b *testing.B) {
+	x, y := benchMats(256)
+	dst := tensor.New(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulInto(dst, x, y, false)
+	}
+}
+
+func BenchmarkKernel_MatMulTA(b *testing.B) {
+	x, y := benchMats(256)
+	dst := tensor.New(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulTAInto(dst, x, y, false)
+	}
+}
+
+// BenchmarkKernel_MatMulTASeed measures the pre-optimization pattern the
+// fused kernel replaces: materialize the transpose, then multiply.
+func BenchmarkKernel_MatMulTASeed(b *testing.B) {
+	x, y := benchMats(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = seedMatMul(tensor.Transpose2D(x), y)
+	}
+}
+
+func BenchmarkKernel_MatMulTB(b *testing.B) {
+	x, y := benchMats(256)
+	dst := tensor.New(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulTBInto(dst, x, y, false)
+	}
+}
+
+func benchConvOperands() (*tensor.Tensor, *tensor.Tensor, tensor.ConvParams) {
+	r := rng.NewFromInt(32)
+	in := tensor.New(8, 8, 16, 16)
+	in.FillNormal(r, 0, 1)
+	kernel := tensor.New(16, 8, 3, 3)
+	kernel.FillNormal(r, 0, 0.5)
+	return in, kernel, tensor.ConvParams{KH: 3, KW: 3, Stride: 1, Padding: 1}
+}
+
+func BenchmarkKernel_Conv2DSeed(b *testing.B) {
+	in, kernel, p := benchConvOperands()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = seedConv2D(in, kernel, p)
+	}
+}
+
+func BenchmarkKernel_Conv2DWorkspace(b *testing.B) {
+	in, kernel, p := benchConvOperands()
+	ws := tensor.NewWorkspace()
+	tensor.Conv2DForwardWS(ws, in, kernel, p, false) // prime the workspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = tensor.Conv2DForwardWS(ws, in, kernel, p, false)
+	}
+}
+
+func BenchmarkKernel_Conv2DBackwardWorkspace(b *testing.B) {
+	in, kernel, p := benchConvOperands()
+	ws := tensor.NewWorkspace()
+	out, cols := tensor.Conv2DForwardWS(ws, in, kernel, p, false)
+	gradOut := tensor.New(out.Shape...)
+	gradOut.Fill(0.01)
+	tensor.Conv2DBackwardWS(ws, in, kernel, gradOut, cols, p, false) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = tensor.Conv2DBackwardWS(ws, in, kernel, gradOut, cols, p, false)
+	}
+}
+
+// BenchmarkKernel_TrainStepAllocs measures allocations of a full Resnet
+// training iteration (8 devices, forward+backward+averaging+step). The
+// workspace arena makes the per-layer kernel buffers steady-state, so
+// allocs/op should sit far below the seed's one-buffer-per-kernel-call
+// behavior (≥50% reduction is the acceptance bar).
+func BenchmarkKernel_TrainStepAllocs(b *testing.B) {
+	w := workloads.Resnet()
+	e := w.NewEngine(rng.Seed{State: 77, Stream: 1})
+	// Warm up one iteration so every workspace buffer exists.
+	e.RunIteration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.RunIteration(i + 1)
+	}
+}
+
+// BenchmarkKernel_TrainStepDeviceParallel is the same step with
+// device-parallel stepping enabled (identical results, different schedule).
+func BenchmarkKernel_TrainStepDeviceParallel(b *testing.B) {
+	w := workloads.Resnet()
+	e := w.NewEngine(rng.Seed{State: 77, Stream: 1})
+	e.SetDeviceParallel(true)
+	e.RunIteration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.RunIteration(i + 1)
+	}
+}
