@@ -1,0 +1,42 @@
+#!/bin/sh
+# Runs the campaign-level benchmarks (cold-start vs forked execution, see
+# campaign_bench_test.go) and emits BENCH_campaign.json so the campaign
+# perf trajectory is tracked across PRs.
+#
+# Usage: ./bench_campaign.sh            # BENCHTIME=3x by default
+#        BENCHTIME=10x ./bench_campaign.sh
+set -eu
+
+cd "$(dirname "$0")"
+benchtime="${BENCHTIME:-3x}"
+
+out=$(go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked|ForkedNoPool|PoolOnly)$' \
+	-benchtime "$benchtime" -count 1 .)
+echo "$out"
+
+metric() {
+	echo "$out" | awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" {s += $3; n++} END {if (n) printf "%.0f", s / n}'
+}
+
+cold=$(metric BenchmarkCampaignCold)
+forked=$(metric BenchmarkCampaignForked)
+forkonly=$(metric BenchmarkCampaignForkedNoPool)
+poolonly=$(metric BenchmarkCampaignPoolOnly)
+if [ -z "$cold" ] || [ -z "$forked" ]; then
+	echo "bench_campaign: missing benchmark output" >&2
+	exit 1
+fi
+speedup=$(awk -v c="$cold" -v f="$forked" 'BEGIN {printf "%.3f", c / f}')
+
+cat >BENCH_campaign.json <<EOF
+{
+  "benchmark": "campaign",
+  "benchtime": "$benchtime",
+  "cold_ns_per_op": $cold,
+  "forked_ns_per_op": $forked,
+  "forked_nopool_ns_per_op": ${forkonly:-null},
+  "pool_only_ns_per_op": ${poolonly:-null},
+  "speedup_forked_vs_cold": $speedup
+}
+EOF
+echo "wrote BENCH_campaign.json (forked vs cold: ${speedup}x)"

@@ -1,0 +1,82 @@
+// Campaign-level benchmarks: forked execution (golden-prefix snapshot
+// cache + per-worker engine pooling) against the cold-start campaign
+// runner that rebuilds an engine and replays the full prefix for every
+// experiment.
+//
+// Run with:
+//
+//	go test -bench 'Campaign' -benchmem -run '^$' .
+//
+// or via ./bench_campaign.sh, which emits BENCH_campaign.json for the perf
+// trajectory. Both modes produce byte-identical Records/Tally
+// (TestForkedCampaignEquivalence in internal/experiment), so the ns/op
+// ratio is pure wall-clock win. At the default InjectFrac=0.8 /
+// HorizonMult=2, forking alone skips ~20% of all experiment iterations;
+// pooling removes per-experiment model+dataset construction on top.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/workloads"
+)
+
+// benchCampaignConfig is the shared campaign shape: the paper's default
+// injection window (first 80% of the fault-free run) and horizon (2×).
+func benchCampaignConfig(b *testing.B) experiment.Config {
+	w, err := workloads.ByName("resnet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Iters = 30 // laptop-scale; the skip ratio only depends on the fractions
+	return experiment.Config{
+		Workload:    w,
+		Experiments: 12,
+		Seed:        9,
+		HorizonMult: 2,
+		InjectFrac:  0.8,
+	}
+}
+
+func BenchmarkCampaignCold(b *testing.B) {
+	cfg := benchCampaignConfig(b)
+	cfg.SnapshotStride = -1 // replay every prefix from iteration 0
+	cfg.NoPool = true       // fresh engine per experiment
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Run(cfg)
+	}
+}
+
+func BenchmarkCampaignForked(b *testing.B) {
+	cfg := benchCampaignConfig(b) // defaults: auto stride + engine pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Run(cfg)
+	}
+}
+
+// BenchmarkCampaignForkedNoPool isolates the snapshot-fork contribution.
+func BenchmarkCampaignForkedNoPool(b *testing.B) {
+	cfg := benchCampaignConfig(b)
+	cfg.NoPool = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Run(cfg)
+	}
+}
+
+// BenchmarkCampaignPoolOnly isolates the engine-pool contribution.
+func BenchmarkCampaignPoolOnly(b *testing.B) {
+	cfg := benchCampaignConfig(b)
+	cfg.SnapshotStride = -1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Run(cfg)
+	}
+}

@@ -26,6 +26,12 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/tensor ./internal/nn ./internal/train ./internal/experiment
+go test -race ./internal/tensor ./internal/nn ./internal/train
+
+echo "== campaign equivalence under -race (forked+pooled == cold, byte for byte) =="
+go test -race ./internal/experiment
+
+echo "== campaign bench smoke (-benchtime=1x) =="
+go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked)$' -benchtime 1x .
 
 echo "CI passed."

@@ -29,6 +29,9 @@ func main() {
 		all      = flag.Bool("all", false, "run every Table-2 workload")
 		csvOut   = flag.String("csv", "", "write per-experiment rows to this CSV file")
 		jsonOut  = flag.String("json", "", "write the full campaign record to this JSON file")
+		stride   = flag.Int("snapshot-stride", 0, "golden-prefix snapshot stride: 0 = auto (memory-bounded), >0 explicit, <0 disable forking")
+		snapMem  = flag.Int64("snapshot-mem", 0, "auto-stride snapshot cache budget in bytes (0 = 256 MiB)")
+		pool     = flag.Bool("pool", true, "reuse one engine per worker across experiments (Reset+Restore) instead of rebuilding per experiment")
 	)
 	flag.Parse()
 
@@ -41,13 +44,23 @@ func main() {
 	}
 
 	for _, name := range names {
-		c, err := repro.RunCampaign(name, *n, *seed)
+		w, err := repro.WorkloadByName(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "campaign:", err)
 			os.Exit(1)
 		}
+		c := repro.RunCampaignConfig(repro.CampaignConfig{
+			Workload:          w,
+			Experiments:       *n,
+			Seed:              *seed,
+			HorizonMult:       1.5,
+			SnapshotStride:    *stride,
+			SnapshotMemBudget: *snapMem,
+			NoPool:            !*pool,
+		})
 		fmt.Println("================================================================")
 		c.Report(os.Stdout)
+		fmt.Println(c.ForkSummary())
 
 		fmt.Println("\nTable-4 necessary-condition ranges (observed within 2 iterations of the fault):")
 		ranges := c.ConditionRanges()

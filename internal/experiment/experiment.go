@@ -9,15 +9,20 @@
 // and cycle, (2)+(3) derive the corrupted output elements and their faulty
 // values from the software fault model, (4) continue training until an
 // INF/NaN error message or the iteration budget (2× the fault-free run).
+//
+// Experiments execute forked, not cold-started: the golden reference run
+// records prefix snapshots, each experiment restores the nearest snapshot
+// at or before its injection iteration and runs only the suffix, and each
+// worker reuses one pooled engine across its experiments (see forked.go).
+// Both optimizations are byte-exact — determinism makes the skipped prefix
+// bitwise-identical to the golden run.
 package experiment
 
 import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/accel"
 	"repro/internal/detect"
@@ -62,6 +67,29 @@ type Config struct {
 	// this mainly helps small campaigns (or Experiments < Workers) on
 	// multi-core hosts; leave it off otherwise to avoid oversubscription.
 	DeviceParallel bool
+	// SnapshotStride controls the golden-prefix snapshot cache for forked
+	// experiment execution: the fault-free reference run records a
+	// train.State snapshot every SnapshotStride iterations (plus the
+	// initial state), and each experiment restores the nearest snapshot at
+	// or before its injection iteration and executes only the suffix,
+	// instead of replaying the bitwise-identical prefix from iteration 0.
+	//
+	//	 0 — auto: the densest stride whose cache fits SnapshotMemBudget.
+	//	>0 — explicit stride.
+	//	<0 — disable forking; every experiment replays from iteration 0.
+	//
+	// Forked and cold campaigns produce byte-identical Records and Tally
+	// (TestForkedCampaignEquivalence); forking is purely a wall-clock
+	// optimization.
+	SnapshotStride int
+	// SnapshotMemBudget bounds the auto-stride snapshot cache footprint in
+	// bytes (0 = 256 MiB). Ignored when SnapshotStride is explicit.
+	SnapshotMemBudget int64
+	// NoPool disables per-worker engine pooling: each experiment then
+	// constructs a fresh engine via Workload.NewEngine instead of reusing
+	// one Reset+Restore'd engine per worker. Pooling is also byte-exact;
+	// the knob exists for benchmarking and debugging.
+	NoPool bool
 }
 
 // Record is the result of one FI experiment.
@@ -96,99 +124,58 @@ type Campaign struct {
 	RefAcc  float64
 	Records []Record
 	Tally   outcome.Tally
+
+	// IterationsSkipped counts golden-prefix iterations reused via
+	// snapshot forking instead of being re-executed; IterationsExecuted
+	// counts the suffix iterations the experiments actually ran. Their sum
+	// is the work a cold-start campaign would have performed (modulo early
+	// INF/NaN termination, which both paths share).
+	IterationsSkipped, IterationsExecuted int64
+	// Snapshots / SnapshotBytes / Stride describe the golden-prefix cache
+	// the campaign forked from (see Config.SnapshotStride).
+	Snapshots     int
+	SnapshotBytes int64
+	Stride        int
 }
 
-// Run executes the campaign.
+// Run executes the campaign: a golden reference run with a prefix snapshot
+// cache (PrepareGolden), then the FI experiments forked from it across a
+// fixed worker pool with per-worker engine reuse. Identical in results —
+// byte for byte — to a cold-start campaign (SnapshotStride: -1, NoPool:
+// true); see forked.go for the machinery and the exactness argument.
 func Run(cfg Config) *Campaign {
-	if cfg.HorizonMult <= 0 {
-		cfg.HorizonMult = 1.0
-	}
-	if cfg.InjectFrac <= 0 || cfg.InjectFrac > 1 {
-		cfg.InjectFrac = 0.8
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	w := cfg.Workload
-	horizon := int(float64(w.Iters) * cfg.HorizonMult)
-
-	// Fault-free reference run.
-	refEngine := w.NewEngine(rng.Seed{State: uint64(cfg.Seed), Stream: 77})
-	refEngine.SetDeviceParallel(cfg.DeviceParallel)
-	ref := train.NewTrace(w.Name + "-ref")
-	refEngine.Run(0, horizon, ref, false)
-
-	c := &Campaign{Cfg: cfg, Ref: ref, RefAcc: ref.FinalTrainAcc(10)}
-	cls := outcome.NewClassifier(ref)
-
-	// Pre-sample all injections (deterministic, order-independent).
-	inv := accel.NVDLAInventory()
-	sampler := fault.NewSampler(inv, rng.NewFromInt(cfg.Seed))
-	numLayers := refEngine.Replica(0).Len()
-	maxInjectIter := int(float64(w.Iters) * cfg.InjectFrac)
-	if maxInjectIter < 1 {
-		maxInjectIter = 1
-	}
-	biasRand := rng.NewFromInt(cfg.Seed ^ 0x5eed)
-	injections := make([]fault.Injection, cfg.Experiments)
-	for i := range injections {
-		inj := sampler.Sample(numLayers, maxInjectIter)
-		if len(cfg.BiasKinds) > 0 {
-			inj.Kind = cfg.BiasKinds[biasRand.Intn(len(cfg.BiasKinds))]
-			// The fault duration distribution is a property of the FF
-			// class (feedback-loop probability); resample it for the
-			// substituted kind.
-			inj.N = inv.SampleDuration(inj.Kind, biasRand)
-		}
-		if len(cfg.BiasPasses) > 0 {
-			inj.Pass = cfg.BiasPasses[biasRand.Intn(len(cfg.BiasPasses))]
-		}
-		injections[i] = inj
-	}
-
-	// Fixed worker pool over a shared index channel: exactly `workers`
-	// goroutines for the whole campaign instead of one goroutine (plus a
-	// semaphore slot) per experiment. Each experiment writes only its own
-	// Records[i], so scheduling order cannot affect results, and the tally
-	// below runs over Records in index order — record order and outcome
-	// totals are identical for any worker count.
-	c.Records = make([]Record, cfg.Experiments)
-	if workers > len(injections) {
-		workers = len(injections)
-	}
-	idxCh := make(chan int)
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				c.Records[i] = runOne(w, injections[i], horizon, cfg.Seed, cls, cfg.DeviceParallel)
-			}
-		}()
-	}
-	for i := range injections {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
-	for i := range c.Records {
-		c.Tally.Add(c.Records[i].Outcome)
-	}
-	return c
+	return RunWithGolden(cfg, nil)
 }
 
-// runOne executes a single FI experiment.
-func runOne(w *workloads.Workload, inj fault.Injection, horizon int, seed int64, cls *outcome.Classifier, deviceParallel bool) Record {
-	e := w.NewEngine(rng.Seed{State: uint64(seed), Stream: 77}) // same seed as reference
-	e.SetDeviceParallel(deviceParallel)
+// runOne executes a single FI experiment: restore the nearest golden
+// snapshot at or before the injection iteration, reconstruct the trace
+// prefix from the golden trace (the skipped iterations are
+// bitwise-identical to it), and execute only the suffix. pooled, when
+// non-nil, is the worker's reusable engine; otherwise a fresh engine is
+// built. Returns the record, the prefix length skipped, and the suffix
+// iterations executed.
+func runOne(g *Golden, pooled *train.Engine, inj fault.Injection) (Record, int, int) {
+	w := g.w
+	start, snap := g.nearest(inj.Iteration)
+	var e *train.Engine
+	if pooled != nil {
+		e = pooled
+		e.Reset()
+		e.Restore(snap)
+	} else {
+		e = w.NewEngine(rng.Seed{State: uint64(g.seed), Stream: 77}) // same seed as reference
+		e.SetDeviceParallel(g.deviceParallel)
+		if start > 0 {
+			e.Restore(snap)
+		}
+	}
 	e.SetInjection(&inj)
 	det := detect.New(detect.Derive(detect.ConfigForModel(e.Replica(0), w.BatchSize(), w.LR)))
 
 	rec := Record{Injection: inj, NonFiniteIter: -1, DetectIter: -1, Masked: true}
 	trace := train.NewTrace(w.Name)
-	for iter := 0; iter < horizon; iter++ {
+	copyGoldenPrefix(trace, g.ref, start)
+	for iter := start; iter < g.horizon; iter++ {
 		st := e.RunIteration(iter)
 		trace.TrainLoss = append(trace.TrainLoss, st.Loss)
 		trace.TrainAcc = append(trace.TrainAcc, st.TrainAcc)
@@ -212,10 +199,10 @@ func runOne(w *workloads.Workload, inj fault.Injection, horizon int, seed int64,
 			}
 		}
 		if w.TestEvery > 0 && (iter+1)%w.TestEvery == 0 {
-			_, ta := e.Evaluate(0)
+			tl, ta := e.Evaluate(0)
 			trace.TestIters = append(trace.TestIters, iter)
 			trace.TestAcc = append(trace.TestAcc, ta)
-			trace.TestLoss = append(trace.TestLoss, 0)
+			trace.TestLoss = append(trace.TestLoss, tl)
 		}
 		if st.NonFinite && trace.NonFiniteIter == -1 {
 			trace.NonFiniteIter = iter
@@ -223,11 +210,33 @@ func runOne(w *workloads.Workload, inj fault.Injection, horizon int, seed int64,
 			break // error message terminates the experiment (Sec 3.3)
 		}
 	}
-	rec.Outcome = cls.Classify(trace, inj.Pass)
+	rec.Outcome = g.cls.Classify(trace, inj.Pass)
 	rec.FinalTrainAcc = trace.FinalTrainAcc(10)
 	rec.FinalTestAcc = trace.FinalTestAcc()
 	rec.NonFiniteIter = trace.NonFiniteIter
-	return rec
+	return rec, start, trace.Completed - start
+}
+
+// copyGoldenPrefix reconstructs iterations [0, b) of an experiment trace
+// from the golden reference trace. Valid because the armed injection
+// touches nothing before its iteration and all engine randomness is
+// iteration-addressed, so the skipped prefix is bitwise-identical to the
+// golden run's — including its periodic test evaluations.
+func copyGoldenPrefix(dst, ref *train.Trace, b int) {
+	if b <= 0 {
+		return
+	}
+	dst.TrainLoss = append(dst.TrainLoss, ref.TrainLoss[:b]...)
+	dst.TrainAcc = append(dst.TrainAcc, ref.TrainAcc[:b]...)
+	for j, it := range ref.TestIters {
+		if it >= b {
+			break
+		}
+		dst.TestIters = append(dst.TestIters, it)
+		dst.TestAcc = append(dst.TestAcc, ref.TestAcc[j])
+		dst.TestLoss = append(dst.TestLoss, ref.TestLoss[j])
+	}
+	dst.Completed = b
 }
 
 // ConditionRange aggregates the Table-4 measurement for one outcome class.

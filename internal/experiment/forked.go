@@ -1,0 +1,307 @@
+package experiment
+
+// Forked campaign execution: the golden-prefix snapshot cache and the
+// per-worker engine pool.
+//
+// Every FI experiment replays the iterations before its injection point,
+// and that prefix is bitwise-identical to the fault-free golden run: the
+// engine's randomness is a pure function of (seed, iteration, device),
+// Loader.Batch(iter) is a pure function of (dataset, seed, iter), and an
+// armed injection touches nothing before its iteration. The golden run can
+// therefore record train.State snapshots at iteration boundaries, and each
+// experiment can restore the nearest snapshot at or before its injection
+// iteration and execute only the suffix — skipping, at the default
+// InjectFrac=0.8 / HorizonMult=2, about 20% of all campaign iterations
+// while producing byte-identical Records and Tally (proved by
+// TestForkedCampaignEquivalence, enforced under -race in ci.sh).
+//
+// Engine pooling compounds the win: instead of Workload.NewEngine per
+// experiment (model construction + dataset materialization + loader), each
+// campaign worker builds one engine and re-arms it per experiment through
+// Engine.Reset (disarm injections, clear diagnostics) + Engine.Restore
+// (reposition weights, optimizer state incl. the Adam step counter, and
+// per-device BN moving statistics at the snapshot boundary).
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/accel"
+	"repro/internal/fault"
+	"repro/internal/outcome"
+	"repro/internal/rng"
+	"repro/internal/train"
+	"repro/internal/workloads"
+)
+
+// defaultSnapshotMemBudget bounds the auto-stride snapshot cache (256 MiB).
+const defaultSnapshotMemBudget = 256 << 20
+
+// Golden is the precomputed fault-free side of a campaign: the reference
+// trace, its outcome classifier, and the prefix snapshot cache experiments
+// fork from. It is immutable after PrepareGolden and safe to share across
+// workers and across campaigns (e.g. one Golden serving every per-kind
+// biased campaign of a KindSweep).
+type Golden struct {
+	w              *workloads.Workload
+	seed           int64
+	deviceParallel bool
+
+	horizon       int
+	maxInjectIter int
+	numLayers     int
+
+	ref    *train.Trace
+	refAcc float64
+	cls    *outcome.Classifier
+
+	// snaps[j] is the engine state with iterations 0..bounds[j]-1 done;
+	// bounds is ascending and bounds[0] == 0 (the initial state, which the
+	// engine pool needs even when prefix forking is disabled).
+	snaps  []*train.State
+	bounds []int
+	// stride is the boundary spacing actually used (0 = forking disabled,
+	// only the initial snapshot is kept).
+	stride int
+	bytes  int64
+}
+
+// Ref returns the golden reference trace.
+func (g *Golden) Ref() *train.Trace { return g.ref }
+
+// Snapshots returns the number of cached states and their total footprint.
+func (g *Golden) Snapshots() (count int, bytes int64) { return len(g.snaps), g.bytes }
+
+// Stride returns the snapshot boundary spacing (0 = prefix forking off).
+func (g *Golden) Stride() int { return g.stride }
+
+// nearest returns the largest snapshot boundary b ≤ iter and its state.
+func (g *Golden) nearest(iter int) (int, *train.State) {
+	j := sort.SearchInts(g.bounds, iter+1) - 1
+	return g.bounds[j], g.snaps[j]
+}
+
+// resolveStride picks the snapshot stride: an explicit positive stride is
+// taken as-is; a negative stride disables periodic snapshots; zero selects
+// the densest stride whose cache footprint fits the memory budget.
+func resolveStride(cfg Config, perSnap int64, maxInjectIter int) int {
+	if cfg.SnapshotStride > 0 {
+		return cfg.SnapshotStride
+	}
+	if cfg.SnapshotStride < 0 {
+		return 0
+	}
+	budget := cfg.SnapshotMemBudget
+	if budget <= 0 {
+		budget = defaultSnapshotMemBudget
+	}
+	if perSnap <= 0 {
+		perSnap = 1
+	}
+	// Slots left after the always-kept initial snapshot. Useful boundaries
+	// are 1..maxInjectIter-1 (an injection iteration is < maxInjectIter).
+	extra := budget/perSnap - 1
+	if extra < 1 {
+		return 0
+	}
+	want := int64(maxInjectIter - 1)
+	if want <= extra {
+		return 1
+	}
+	return int((want + extra - 1) / extra)
+}
+
+// PrepareGolden executes the fault-free reference run, recording the trace
+// and the prefix snapshot cache. The returned Golden can be passed to
+// RunWithGolden any number of times — including with different bias
+// settings — as long as workload, seed, horizon, and injection window
+// match.
+func PrepareGolden(cfg Config) *Golden {
+	cfg = cfg.withDefaults()
+	w := cfg.Workload
+	g := &Golden{
+		w:              w,
+		seed:           cfg.Seed,
+		deviceParallel: cfg.DeviceParallel,
+		horizon:        int(float64(w.Iters) * cfg.HorizonMult),
+		maxInjectIter:  maxInjectIterFor(cfg),
+	}
+
+	refEngine := w.NewEngine(rng.Seed{State: uint64(cfg.Seed), Stream: 77})
+	refEngine.SetDeviceParallel(cfg.DeviceParallel)
+	g.numLayers = refEngine.Replica(0).Len()
+
+	// The initial state: the fork target of injections before the first
+	// periodic boundary, and the rewind point the engine pool always needs.
+	init := refEngine.Snapshot(-1)
+	g.snaps = append(g.snaps, init)
+	g.bounds = append(g.bounds, 0)
+	g.stride = resolveStride(cfg, init.Bytes(), g.maxInjectIter)
+
+	g.ref = train.NewTrace(w.Name + "-ref")
+	refEngine.RunWithHook(0, g.horizon, g.ref, false, func(iter int) {
+		b := iter + 1
+		if g.stride > 0 && b < g.maxInjectIter && b%g.stride == 0 {
+			g.snaps = append(g.snaps, refEngine.Snapshot(iter))
+			g.bounds = append(g.bounds, b)
+		}
+	})
+	if g.ref.NonFiniteIter != -1 {
+		// A non-finite golden prefix means a cold experiment would stop at
+		// that iteration before ever injecting; forking past it would skip
+		// the stop. Fall back to replay-from-0 (pooling stays exact: the
+		// initial-state restore re-executes everything).
+		g.snaps = g.snaps[:1]
+		g.bounds = g.bounds[:1]
+		g.stride = 0
+	}
+	for _, s := range g.snaps {
+		g.bytes += s.Bytes()
+	}
+	g.refAcc = g.ref.FinalTrainAcc(10)
+	g.cls = outcome.NewClassifier(g.ref)
+	return g
+}
+
+// maxInjectIterFor returns the exclusive upper bound of injection
+// iterations for a (defaulted) config.
+func maxInjectIterFor(cfg Config) int {
+	m := int(float64(cfg.Workload.Iters) * cfg.InjectFrac)
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// checkCompatible panics when a Golden was prepared for a different
+// campaign shape than cfg (programmer error: the fork targets would not be
+// on the experiment's trajectory).
+func (g *Golden) checkCompatible(cfg Config) {
+	if g.w.Name != cfg.Workload.Name || g.seed != cfg.Seed ||
+		g.horizon != int(float64(cfg.Workload.Iters)*cfg.HorizonMult) ||
+		g.maxInjectIter != maxInjectIterFor(cfg) ||
+		g.deviceParallel != cfg.DeviceParallel {
+		panic(fmt.Sprintf("experiment: golden prepared for %s/seed=%d/horizon=%d does not match campaign %s/seed=%d",
+			g.w.Name, g.seed, g.horizon, cfg.Workload.Name, cfg.Seed))
+	}
+}
+
+// withDefaults normalizes the optional knobs.
+func (cfg Config) withDefaults() Config {
+	if cfg.HorizonMult <= 0 {
+		cfg.HorizonMult = 1.0
+	}
+	if cfg.InjectFrac <= 0 || cfg.InjectFrac > 1 {
+		cfg.InjectFrac = 0.8
+	}
+	return cfg
+}
+
+// sampleInjections pre-draws every experiment's injection (deterministic
+// and independent of worker scheduling).
+func sampleInjections(cfg Config, numLayers, maxInjectIter int) []fault.Injection {
+	inv := accel.NVDLAInventory()
+	sampler := fault.NewSampler(inv, rng.NewFromInt(cfg.Seed))
+	biasRand := rng.NewFromInt(cfg.Seed ^ 0x5eed)
+	injections := make([]fault.Injection, cfg.Experiments)
+	for i := range injections {
+		inj := sampler.Sample(numLayers, maxInjectIter)
+		if len(cfg.BiasKinds) > 0 {
+			inj.Kind = cfg.BiasKinds[biasRand.Intn(len(cfg.BiasKinds))]
+			// The fault duration distribution is a property of the FF
+			// class (feedback-loop probability); resample it for the
+			// substituted kind.
+			inj.N = inv.SampleDuration(inj.Kind, biasRand)
+		}
+		if len(cfg.BiasPasses) > 0 {
+			inj.Pass = cfg.BiasPasses[biasRand.Intn(len(cfg.BiasPasses))]
+		}
+		injections[i] = inj
+	}
+	return injections
+}
+
+// RunWithGolden executes a campaign against a precomputed Golden. Passing
+// the same Golden to several campaigns (different bias settings, repeated
+// sweeps) amortizes the reference run and its snapshot cache across all of
+// them.
+func RunWithGolden(cfg Config, g *Golden) *Campaign {
+	cfg = cfg.withDefaults()
+	if g == nil {
+		g = PrepareGolden(cfg)
+	} else {
+		g.checkCompatible(cfg)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	c := &Campaign{Cfg: cfg, Ref: g.ref, RefAcc: g.refAcc,
+		Stride: g.stride, Snapshots: len(g.snaps), SnapshotBytes: g.bytes}
+	injections := sampleInjections(cfg, g.numLayers, g.maxInjectIter)
+
+	// Fixed worker pool over a shared index channel: exactly `workers`
+	// goroutines for the whole campaign. Each experiment writes only its
+	// own Records[i], so scheduling order cannot affect results, and the
+	// tally below runs over Records in index order — record order and
+	// outcome totals are identical for any worker count and for pooled vs
+	// fresh engines.
+	c.Records = make([]Record, cfg.Experiments)
+	if workers > len(injections) {
+		workers = len(injections)
+	}
+	var executed, skipped int64
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker engine pool: one engine, re-armed per experiment
+			// via Reset+Restore instead of rebuilt via NewEngine.
+			var pooled *train.Engine
+			if !cfg.NoPool {
+				pooled = g.w.NewEngine(rng.Seed{State: uint64(cfg.Seed), Stream: 77})
+				pooled.SetDeviceParallel(cfg.DeviceParallel)
+			}
+			for i := range idxCh {
+				rec, start, done := runOne(g, pooled, injections[i])
+				c.Records[i] = rec
+				atomic.AddInt64(&skipped, int64(start))
+				atomic.AddInt64(&executed, int64(done))
+			}
+		}()
+	}
+	for i := range injections {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	c.IterationsExecuted = executed
+	c.IterationsSkipped = skipped
+	for i := range c.Records {
+		c.Tally.Add(c.Records[i].Outcome)
+	}
+	return c
+}
+
+// ForkSummary renders a one-line account of the campaign's forked
+// execution: golden-prefix iterations reused vs suffix iterations actually
+// executed, and the snapshot cache that enabled the reuse.
+func (c *Campaign) ForkSummary() string {
+	total := c.IterationsExecuted + c.IterationsSkipped
+	var pct float64
+	if total > 0 {
+		pct = 100 * float64(c.IterationsSkipped) / float64(total)
+	}
+	pool := "per-worker engine pool"
+	if c.Cfg.NoPool {
+		pool = "fresh engine per experiment"
+	}
+	return fmt.Sprintf("forked execution: reused %d/%d experiment iterations (%.1f%%) from %d golden snapshots (stride %d, %.1f MiB), %s",
+		c.IterationsSkipped, total, pct, c.Snapshots, c.Stride, float64(c.SnapshotBytes)/(1<<20), pool)
+}

@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/workloads"
+)
+
+// recordsEqual compares two records field by field, treating floats as
+// equal only when their bit patterns match (NaN-safe "byte-identical").
+func recordsEqual(a, b *Record) bool {
+	f64 := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.Injection == b.Injection &&
+		a.Outcome == b.Outcome &&
+		f64(a.FinalTrainAcc, b.FinalTrainAcc) &&
+		f64(a.FinalTestAcc, b.FinalTestAcc) &&
+		a.NonFiniteIter == b.NonFiniteIter &&
+		f64(a.HistAtT, b.HistAtT) && f64(a.HistAtT1, b.HistAtT1) &&
+		f64(a.MvarAtT, b.MvarAtT) && f64(a.MvarAtT1, b.MvarAtT1) &&
+		a.DetectIter == b.DetectIter &&
+		a.InjectedElems == b.InjectedElems &&
+		a.Masked == b.Masked
+}
+
+func assertCampaignsIdentical(t *testing.T, label string, want, got *Campaign) {
+	t.Helper()
+	if len(want.Records) != len(got.Records) {
+		t.Fatalf("%s: %d records, want %d", label, len(got.Records), len(want.Records))
+	}
+	for i := range want.Records {
+		if !recordsEqual(&want.Records[i], &got.Records[i]) {
+			t.Fatalf("%s: record %d differs:\ncold:   %+v\nforked: %+v",
+				label, i, want.Records[i], got.Records[i])
+		}
+	}
+	if want.Tally != got.Tally {
+		t.Fatalf("%s: tally differs:\ncold:   %+v\nforked: %+v", label, want.Tally, got.Tally)
+	}
+}
+
+// TestForkedCampaignEquivalence is the campaign-level exactness proof: a
+// forked + pooled campaign produces byte-identical Records and Tally to the
+// cold-start campaign, for multiple strides (explicit dense, explicit
+// sparse, auto) and worker counts, with and without the engine pool. ci.sh
+// runs this under -race so the forked path can never silently diverge.
+func TestForkedCampaignEquivalence(t *testing.T) {
+	w, err := workloads.ByName("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iters = 20 // shrink for test speed; mechanics are unchanged
+	base := Config{Workload: w, Experiments: 8, Seed: 3, HorizonMult: 2, InjectFrac: 0.8}
+
+	cold := base
+	cold.SnapshotStride = -1
+	cold.NoPool = true
+	cold.Workers = 2
+	want := Run(cold)
+	if want.IterationsSkipped != 0 {
+		t.Fatalf("cold campaign skipped %d iterations", want.IterationsSkipped)
+	}
+
+	cases := []struct {
+		label   string
+		stride  int
+		workers int
+		noPool  bool
+	}{
+		{"stride1-pooled-1worker", 1, 1, false},
+		{"stride5-pooled-3workers", 5, 3, false},
+		{"auto-pooled-2workers", 0, 2, false},
+		{"pool-only-2workers", -1, 2, false},
+		{"fork-only-5stride-2workers", 5, 2, true},
+	}
+	for _, tc := range cases {
+		cfg := base
+		cfg.SnapshotStride = tc.stride
+		cfg.Workers = tc.workers
+		cfg.NoPool = tc.noPool
+		got := Run(cfg)
+		assertCampaignsIdentical(t, tc.label, want, got)
+		if tc.stride >= 0 && got.IterationsSkipped == 0 {
+			t.Errorf("%s: forking enabled but no iterations were skipped", tc.label)
+		}
+		if tc.stride == -1 && got.IterationsSkipped != 0 {
+			t.Errorf("%s: forking disabled but %d iterations skipped", tc.label, got.IterationsSkipped)
+		}
+	}
+}
+
+// TestForkAccounting checks the skip/execute bookkeeping: skipped+executed
+// equals the cold campaign's executed total (both paths terminate INF/NaN
+// runs at the same iteration), and the summary line renders the reuse.
+func TestForkAccounting(t *testing.T) {
+	w, err := workloads.ByName("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iters = 20
+	base := Config{Workload: w, Experiments: 6, Seed: 5, HorizonMult: 1.5}
+
+	cold := base
+	cold.SnapshotStride = -1
+	cold.NoPool = true
+	coldC := Run(cold)
+
+	forked := base
+	forked.SnapshotStride = 1
+	forkedC := Run(forked)
+
+	if coldC.IterationsExecuted != forkedC.IterationsExecuted+forkedC.IterationsSkipped {
+		t.Fatalf("work accounting broken: cold executed %d, forked executed %d + skipped %d",
+			coldC.IterationsExecuted, forkedC.IterationsExecuted, forkedC.IterationsSkipped)
+	}
+	s := forkedC.ForkSummary()
+	if !strings.Contains(s, "reused") || !strings.Contains(s, "snapshots") {
+		t.Fatalf("fork summary missing fields: %q", s)
+	}
+}
+
+// TestAutoStrideRespectsBudget: a tiny memory budget must collapse the
+// cache to the initial snapshot only; a huge one must go dense (stride 1).
+func TestAutoStrideRespectsBudget(t *testing.T) {
+	w, err := workloads.ByName("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iters = 20
+	base := Config{Workload: w, Experiments: 1, Seed: 7, HorizonMult: 1}
+
+	tiny := base
+	tiny.SnapshotMemBudget = 1 // can't even hold the initial snapshot twice
+	g := PrepareGolden(tiny)
+	if n, _ := g.Snapshots(); n != 1 || g.Stride() != 0 {
+		t.Fatalf("tiny budget: %d snapshots stride %d, want 1/0", n, g.Stride())
+	}
+
+	huge := base
+	huge.SnapshotMemBudget = 1 << 40
+	g = PrepareGolden(huge)
+	if g.Stride() != 1 {
+		t.Fatalf("huge budget: stride %d, want 1", g.Stride())
+	}
+	if n, _ := g.Snapshots(); n != maxInjectIterFor(huge.withDefaults()) {
+		t.Fatalf("huge budget: %d snapshots, want one per boundary", n)
+	}
+}
+
+// TestGoldenCompatibilityPanics: forking a campaign from a golden prepared
+// for a different shape must panic rather than silently mis-fork.
+func TestGoldenCompatibilityPanics(t *testing.T) {
+	w, err := workloads.ByName("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iters = 10
+	g := PrepareGolden(Config{Workload: w, Experiments: 1, Seed: 1, HorizonMult: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched golden did not panic")
+		}
+	}()
+	RunWithGolden(Config{Workload: w, Experiments: 1, Seed: 2, HorizonMult: 1}, g)
+}
+
+// TestKindSweepSharesGolden: every per-kind campaign of a sweep must carry
+// the same reference trace (shared golden), a restricted injection kind
+// set, and the full experiment count.
+func TestKindSweepSharesGolden(t *testing.T) {
+	w, err := workloads.ByName("yolo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iters = 12
+	kinds := []accel.FFKind{accel.GlobalG1, accel.DatapathUpperExponent}
+	sweep := KindSweep(Config{Workload: w, Experiments: 4, Seed: 9, HorizonMult: 1}, kinds)
+	if len(sweep) != len(kinds) {
+		t.Fatalf("sweep has %d campaigns, want %d", len(sweep), len(kinds))
+	}
+	var ref *Campaign
+	for _, k := range kinds {
+		c := sweep[k]
+		if c == nil {
+			t.Fatalf("no campaign for kind %v", k)
+		}
+		if len(c.Records) != 4 {
+			t.Fatalf("kind %v: %d records", k, len(c.Records))
+		}
+		for i := range c.Records {
+			if c.Records[i].Injection.Kind != k {
+				t.Fatalf("kind %v campaign sampled kind %v", k, c.Records[i].Injection.Kind)
+			}
+		}
+		if ref == nil {
+			ref = c
+		} else if c.Ref != ref.Ref {
+			t.Fatal("sweep campaigns do not share the golden reference trace")
+		}
+	}
+}

@@ -65,3 +65,23 @@ func (c *Campaign) HardeningPlan(inv *accel.Inventory) []HardeningRow {
 	}
 	return rows
 }
+
+// KindSweep runs one biased campaign per FF kind — the Sec 4.3.1 deep-dive
+// pattern, where per-class condition statistics need enough samples of
+// every FF class — with all campaigns forked from a single shared Golden.
+// The fault-free reference run and its prefix snapshot cache are computed
+// once instead of once per kind, so a sweep over K kinds pays one golden
+// run rather than K. Per-kind outcome rates are conditional on the bias
+// (see Config.BiasKinds); the cross-kind comparisons HardeningPlan feeds
+// on are exactly what the sweep is for.
+func KindSweep(cfg Config, kinds []accel.FFKind) map[accel.FFKind]*Campaign {
+	cfg = cfg.withDefaults()
+	g := PrepareGolden(cfg)
+	out := make(map[accel.FFKind]*Campaign, len(kinds))
+	for _, k := range kinds {
+		kcfg := cfg
+		kcfg.BiasKinds = []accel.FFKind{k}
+		out[k] = RunWithGolden(kcfg, g)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package train_test
+
+// Unit-level exactness of the snapshot-fork primitive the forked FI
+// campaigns build on: Snapshot(i) → Restore → RunIteration(i+1..n) must be
+// bitwise-identical to an uninterrupted run — including optimizer step
+// count (Adam bias correction), gradient history, and per-device BatchNorm
+// moving statistics — even when the restored engine is arbitrarily dirty
+// from a previous (possibly NaN-poisoned) run.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/train"
+	"repro/internal/workloads"
+)
+
+// forkCase covers the BatchNorm × optimizer matrix the paper's outcome
+// families key on.
+func forkCases() map[string]*workloads.Workload {
+	sgdNoBN := workloads.ResnetNoBN()
+	sgdNoBN.Name = "resnet_nobn_sgdmom"
+	// Momentum > 0 so SGD carries velocity history across the fork.
+	sgdNoBN.NewOptimizer = func() opt.Optimizer { return opt.NewSGD(0.05, 0.9) }
+	sgdNoBN.LR = 0.05
+	return map[string]*workloads.Workload{
+		"bn-adam":   workloads.Resnet(),
+		"nobn-adam": workloads.ResnetNoBN(),
+		"bn-sgd":    workloads.ResnetSGD(),
+		"nobn-sgdm": sgdNoBN,
+	}
+}
+
+// fingerprint captures everything fork exactness is judged on.
+type fingerprint struct {
+	losses  []float64
+	weights []float32
+	hist    float64
+	mvar    float64
+}
+
+func runSpan(e *train.Engine, start, end int) []float64 {
+	losses := make([]float64, 0, end-start)
+	for i := start; i < end; i++ {
+		losses = append(losses, e.RunIteration(i).Loss)
+	}
+	return losses
+}
+
+func capture(e *train.Engine, losses []float64) fingerprint {
+	fp := fingerprint{losses: losses, hist: e.HistoryAbsMax(), mvar: e.MvarAbsMax()}
+	for _, p := range e.Replica(0).Params() {
+		fp.weights = append(fp.weights, p.Value.Data...)
+	}
+	return fp
+}
+
+func assertIdentical(t *testing.T, label string, want, got fingerprint) {
+	t.Helper()
+	for i := range want.losses {
+		if math.Float64bits(want.losses[i]) != math.Float64bits(got.losses[i]) {
+			t.Fatalf("%s: loss %d differs: %v vs %v", label, i, want.losses[i], got.losses[i])
+		}
+	}
+	for i := range want.weights {
+		if math.Float32bits(want.weights[i]) != math.Float32bits(got.weights[i]) {
+			t.Fatalf("%s: weight %d differs: %v vs %v", label, i, want.weights[i], got.weights[i])
+		}
+	}
+	if math.Float64bits(want.hist) != math.Float64bits(got.hist) {
+		t.Fatalf("%s: optimizer history max differs: %v vs %v", label, want.hist, got.hist)
+	}
+	if math.Float64bits(want.mvar) != math.Float64bits(got.mvar) {
+		t.Fatalf("%s: moving-variance max differs: %v vs %v", label, want.mvar, got.mvar)
+	}
+}
+
+func TestSnapshotForkExactness(t *testing.T) {
+	const n, forkAt = 8, 3
+	seed := rng.Seed{State: 17, Stream: 7}
+	for label, w := range forkCases() {
+		t.Run(label, func(t *testing.T) {
+			// Uninterrupted reference run.
+			a := w.NewEngine(seed)
+			ref := capture(a, runSpan(a, 0, n))
+
+			// Fork: run the prefix, snapshot, let the engine run PAST the
+			// fork point (dirtying weights, optimizer history, and BN
+			// stats), then Reset+Restore and run the suffix.
+			b := w.NewEngine(seed)
+			prefix := runSpan(b, 0, forkAt)
+			snap := b.Snapshot(forkAt - 1)
+			runSpan(b, forkAt, n) // detour: state now far from the snapshot
+			b.Reset()
+			b.Restore(snap)
+			got := capture(b, append(prefix, runSpan(b, forkAt, n)...))
+			assertIdentical(t, label+"/rewind", ref, got)
+
+			// Pooled fork: restore the same snapshot into a DIFFERENT
+			// engine that has trained and then been NaN-poisoned — the
+			// engine-pool reuse pattern of forked campaigns.
+			c := w.NewEngine(seed)
+			runSpan(c, 0, 5)
+			c.Replica(1).Params()[0].Value.Data[0] = float32(math.NaN())
+			runSpan(c, 5, 7) // spread the poison through weights and history
+			c.Reset()
+			c.Restore(snap)
+			got = capture(c, append(append([]float64(nil), prefix...), runSpan(c, forkAt, n)...))
+			assertIdentical(t, label+"/pooled", ref, got)
+		})
+	}
+}
+
+// TestRunWithHookBoundary pins the hook's contract: it must fire once per
+// completed iteration, at a point where Snapshot captures a state from
+// which the next iteration reproduces the uninterrupted run.
+func TestRunWithHookBoundary(t *testing.T) {
+	w := workloads.Resnet()
+	seed := rng.Seed{State: 23, Stream: 7}
+	const n, forkAt = 6, 2
+
+	a := w.NewEngine(seed)
+	ref := capture(a, runSpan(a, 0, n))
+
+	b := w.NewEngine(seed)
+	trace := train.NewTrace("hooked")
+	var snap *train.State
+	var fired []int
+	b.RunWithHook(0, n, trace, false, func(iter int) {
+		fired = append(fired, iter)
+		if iter == forkAt {
+			snap = b.Snapshot(iter)
+		}
+	})
+	if len(fired) != n || fired[0] != 0 || fired[n-1] != n-1 {
+		t.Fatalf("hook fired at %v, want 0..%d", fired, n-1)
+	}
+	if snap == nil {
+		t.Fatal("hook never saw the fork iteration")
+	}
+	b.Restore(snap)
+	got := capture(b, append(append([]float64(nil), ref.losses[:forkAt+1]...), runSpan(b, forkAt+1, n)...))
+	assertIdentical(t, "hooked", ref, got)
+}

@@ -66,6 +66,15 @@ func (t *Trace) FinalTestAcc() float64 {
 // either an error message ... is encountered, or until a predefined number
 // of training iterations are completed").
 func (e *Engine) Run(start, end int, trace *Trace, stopOnNonFinite bool) {
+	e.RunWithHook(start, end, trace, stopOnNonFinite, nil)
+}
+
+// RunWithHook is Run with a per-iteration observer: hook, when non-nil, is
+// invoked after iteration iter's trace bookkeeping completes — the exact
+// point where Snapshot(iter) captures a forkable iteration-boundary state.
+// The forked FI campaign runner (package experiment) builds its
+// golden-prefix snapshot cache through this hook.
+func (e *Engine) RunWithHook(start, end int, trace *Trace, stopOnNonFinite bool, hook func(iter int)) {
 	for iter := start; iter < end; iter++ {
 		st := e.RunIteration(iter)
 		trace.TrainLoss = append(trace.TrainLoss, st.Loss)
@@ -81,6 +90,9 @@ func (e *Engine) Run(start, end int, trace *Trace, stopOnNonFinite bool) {
 			trace.TestAcc = append(trace.TestAcc, ta)
 		}
 		trace.Completed++
+		if hook != nil {
+			hook(iter)
+		}
 		if st.NonFinite && trace.NonFiniteIter == -1 {
 			trace.NonFiniteIter = iter
 			trace.NonFiniteAt = st.NonFiniteAt

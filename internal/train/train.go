@@ -144,6 +144,19 @@ func (e *Engine) SetInjections(injs []fault.Injection) {
 	e.injectDevice = 0
 }
 
+// Reset returns a pooled engine to a neutral, re-armable condition between
+// experiments: it disarms all injections, detaches any forward monitor, and
+// clears per-run diagnostics. It deliberately does NOT touch weights,
+// optimizer state, or normalization statistics — follow Reset with Restore
+// to position the engine at an iteration-boundary snapshot. Campaign
+// workers (package experiment) reuse one engine per worker this way,
+// eliminating per-experiment model and dataset construction.
+func (e *Engine) Reset() {
+	e.SetInjections(nil)
+	e.ForwardMonitor = nil
+	e.lastNonFinite = ""
+}
+
 // SetDeviceParallel selects whether RunIteration steps the devices on
 // separate goroutines (true) or sequentially (false, the default). The two
 // modes are bitwise-identical: each device touches only its own replica,
@@ -516,7 +529,40 @@ func (e *Engine) Snapshot(iter int) *State {
 	return s
 }
 
-// Restore rewinds the engine to a snapshot.
+// Bytes returns the approximate in-memory footprint of the snapshot:
+// tensor payloads only (headers and map overhead are negligible at the
+// sizes a snapshot-cache memory budget guards against).
+func (s *State) Bytes() int64 {
+	var n int64
+	add := func(t *tensor.Tensor) {
+		if t != nil {
+			n += int64(len(t.Data)) * 4
+		}
+	}
+	for _, p := range s.Params {
+		add(p)
+	}
+	for _, ts := range s.OptState {
+		for _, t := range ts {
+			add(t)
+		}
+	}
+	for _, dev := range s.BNStats {
+		for _, t := range dev {
+			add(t)
+		}
+	}
+	return n
+}
+
+// Restore rewinds the engine to a snapshot. Restore-then-run is
+// self-contained: it repositions the weights of every replica, the full
+// optimizer state including the Adam step counter (bias correction resumes
+// exactly), the per-device BatchNorm moving statistics, and the per-run
+// diagnostics — so RunIteration(s.Iteration+1...) is bitwise-identical to a
+// run that never left the snapshot's trajectory. The snapshot itself is
+// only read, never aliased: a shared *State may be restored concurrently
+// into many engines (the forked-campaign workers do exactly that).
 func (e *Engine) Restore(s *State) {
 	for d := 0; d < e.cfg.Devices; d++ {
 		for pi, p := range e.replicas[d].Params() {
@@ -533,4 +579,5 @@ func (e *Engine) Restore(s *State) {
 		}
 	}
 	e.opt.Restore(s.OptState)
+	e.lastNonFinite = ""
 }
