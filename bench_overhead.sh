@@ -1,0 +1,67 @@
+#!/bin/sh
+# Runs the mitigation-overhead benchmarks (fused kernel-epilogue checks vs
+# tensor re-sweeps, see overhead_bench_test.go) and emits BENCH_overhead.json
+# so the per-iteration mitigation cost is tracked across PRs. Fails if the
+# fused detection check is not strictly cheaper than the sweeping one.
+#
+# Usage: ./bench_overhead.sh            # BENCHTIME=20x by default
+#        BENCHTIME=100x ./bench_overhead.sh
+set -eu
+
+cd "$(dirname "$0")"
+benchtime="${BENCHTIME:-20x}"
+
+out=$(go test -run '^$' \
+	-bench 'BenchmarkOverhead(Plain|Detect(Fused|Sweep)|DetectCheck(Fused|Sweep)|ABFT(Fused|Sweep)|Ranger(Fused|Sweep))$' \
+	-benchtime "$benchtime" -count 1 .)
+echo "$out"
+
+metric() {
+	echo "$out" | awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" {s += $3; n++} END {if (n) printf "%.0f", s / n}'
+}
+
+plain=$(metric BenchmarkOverheadPlain)
+detf=$(metric BenchmarkOverheadDetectFused)
+dets=$(metric BenchmarkOverheadDetectSweep)
+chkf=$(metric BenchmarkOverheadDetectCheckFused)
+chks=$(metric BenchmarkOverheadDetectCheckSweep)
+abftf=$(metric BenchmarkOverheadABFTFused)
+abfts=$(metric BenchmarkOverheadABFTSweep)
+rngf=$(metric BenchmarkOverheadRangerFused)
+rngs=$(metric BenchmarkOverheadRangerSweep)
+if [ -z "$plain" ] || [ -z "$chkf" ] || [ -z "$chks" ]; then
+	echo "bench_overhead: missing benchmark output" >&2
+	exit 1
+fi
+
+if [ "$chkf" -ge "$chks" ]; then
+	echo "bench_overhead: fused detection check (${chkf} ns) not below sweep (${chks} ns)" >&2
+	exit 1
+fi
+
+check_speedup=$(awk -v s="$chks" -v f="$chkf" 'BEGIN {printf "%.3f", s / f}')
+pct() {
+	awk -v p="$plain" -v m="$1" 'BEGIN {if (m == "") print "null"; else printf "%.4f", 100 * (m - p) / p}'
+}
+
+cat >BENCH_overhead.json <<EOF
+{
+  "benchmark": "overhead",
+  "benchtime": "$benchtime",
+  "plain_ns_per_iter": $plain,
+  "detect_fused_ns_per_iter": ${detf:-null},
+  "detect_sweep_ns_per_iter": ${dets:-null},
+  "detect_check_fused_ns": $chkf,
+  "detect_check_sweep_ns": $chks,
+  "detect_check_speedup_fused_vs_sweep": $check_speedup,
+  "abft_fused_ns_per_iter": ${abftf:-null},
+  "abft_sweep_ns_per_iter": ${abfts:-null},
+  "ranger_fused_ns_per_iter": ${rngf:-null},
+  "ranger_sweep_ns_per_iter": ${rngs:-null},
+  "abft_fused_overhead_pct": $(pct "${abftf:-}"),
+  "abft_sweep_overhead_pct": $(pct "${abfts:-}"),
+  "ranger_fused_overhead_pct": $(pct "${rngf:-}"),
+  "ranger_sweep_overhead_pct": $(pct "${rngs:-}")
+}
+EOF
+echo "wrote BENCH_overhead.json (fused vs sweep check: ${check_speedup}x)"

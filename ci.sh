@@ -28,10 +28,16 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/tensor ./internal/nn ./internal/train
 
-echo "== campaign equivalence under -race (forked+pooled == cold, byte for byte) =="
+echo "== fused-mitigation equivalence under -race (epilogue stats == sweeps, alarm for alarm) =="
+go test -race ./internal/detect ./internal/baseline
+
+echo "== campaign equivalence under -race (forked+pooled == cold, fused == sweep, byte for byte) =="
 go test -race ./internal/experiment
 
 echo "== campaign bench smoke (-benchtime=1x) =="
 go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked)$' -benchtime 1x .
+
+echo "== overhead bench smoke (-benchtime=1x) =="
+go test -run '^$' -bench 'BenchmarkOverhead(Plain|DetectCheck(Fused|Sweep)|ABFT(Fused|Sweep))$' -benchtime 1x .
 
 echo "CI passed."

@@ -1,0 +1,231 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/fault"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// f64Equal is bitwise float64 equality (NaN-safe).
+func f64Equal(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// TestABFTDenseFusedBitwiseEqualsSweep drives one Dense layer through both
+// ABFT modes on identical inputs and checks the fused checksum operands —
+// the expected sum (pendingWant), the observed output sum, and the observed
+// gradient step sum — are bitwise-equal to the sweep's.
+func TestABFTDenseFusedBitwiseEqualsSweep(t *testing.T) {
+	mk := func(fused bool) (*ABFTDense, *ABFTState) {
+		s := NewABFTState(1e-3)
+		s.Fused = fused
+		return NewABFTDense(nn.NewDense("d", 8, 6, rng.NewFromInt(1), false), s), s
+	}
+	aF, sF := mk(true)
+	aS, sS := mk(false)
+
+	x := tensor.New(4, 8)
+	x.FillNormal(rng.NewFromInt(2), 0, 1)
+	ctx := &nn.Context{Training: true}
+	yF := aF.Forward(ctx, x)
+	yS := aS.Forward(ctx, x.Clone())
+
+	if !f64Equal(aF.pendingWant, aS.pendingWant) {
+		t.Fatalf("forward want differs: fused %v, sweep %v", aF.pendingWant, aS.pendingWant)
+	}
+	gotF, ok := aF.Inner.LastOutSum()
+	if !ok {
+		t.Fatal("fused dense did not collect an output sum")
+	}
+	if !f64Equal(gotF, yS.Sum()) {
+		t.Fatalf("fused output sum %v != sweep %v", gotF, yS.Sum())
+	}
+
+	g := tensor.New(yF.Shape...)
+	g.FillNormal(rng.NewFromInt(3), 0, 1)
+	aF.Backward(g)
+	aS.Backward(g.Clone())
+
+	gradF, ok := aF.Inner.LastGradSum()
+	if !ok {
+		t.Fatal("fused dense did not collect a gradient sum")
+	}
+	if !f64Equal(gradF, aS.Inner.W.Grad.Sum()) {
+		t.Fatalf("fused grad sum %v != sweep %v", gradF, aS.Inner.W.Grad.Sum())
+	}
+	if sF.Alarms.Load() != 0 || sS.Alarms.Load() != 0 {
+		t.Fatalf("clean layers alarmed: fused %d, sweep %d", sF.Alarms.Load(), sS.Alarms.Load())
+	}
+	if sF.Checks.Load() != sS.Checks.Load() {
+		t.Fatalf("check counts differ: fused %d, sweep %d", sF.Checks.Load(), sS.Checks.Load())
+	}
+}
+
+// TestABFTConvFusedBitwiseEqualsSweep is the conv counterpart: the fused
+// checksum GEMM over the layer's im2col matrix must reproduce the sweep's
+// reduced-convolution sum bit for bit (the lane rule plus the layout
+// identity between a one-channel conv output and a single GEMM row).
+func TestABFTConvFusedBitwiseEqualsSweep(t *testing.T) {
+	mk := func(fused bool) (*ABFTConv2D, *ABFTState) {
+		s := NewABFTState(1e-3)
+		s.Fused = fused
+		return NewABFTConv2D(nn.NewConv2D("c", 2, 3, 3, 3, 1, 1, rng.NewFromInt(4), false), s), s
+	}
+	aF, sF := mk(true)
+	aS, sS := mk(false)
+
+	x := tensor.New(2, 2, 5, 5)
+	x.FillNormal(rng.NewFromInt(5), 0, 1)
+	ctx := &nn.Context{Training: true}
+	yF := aF.Forward(ctx, x)
+	yS := aS.Forward(ctx, x.Clone())
+
+	if !f64Equal(aF.pendingWant, aS.pendingWant) {
+		t.Fatalf("conv forward want differs: fused %v, sweep %v", aF.pendingWant, aS.pendingWant)
+	}
+	gotF, ok := aF.Inner.LastOutSum()
+	if !ok {
+		t.Fatal("fused conv did not collect an output sum")
+	}
+	if !f64Equal(gotF, yS.Sum()) {
+		t.Fatalf("fused conv output sum %v != sweep %v", gotF, yS.Sum())
+	}
+
+	g := tensor.New(yF.Shape...)
+	g.FillNormal(rng.NewFromInt(6), 0, 1)
+	aF.Backward(g)
+	aS.Backward(g.Clone())
+	gradF, ok := aF.Inner.LastGradSum()
+	if !ok {
+		t.Fatal("fused conv did not collect a gradient sum")
+	}
+	if !f64Equal(gradF, aS.Inner.K.Grad.Sum()) {
+		t.Fatalf("fused conv grad sum %v != sweep %v", gradF, aS.Inner.K.Grad.Sum())
+	}
+	if sF.Alarms.Load() != 0 || sS.Alarms.Load() != 0 {
+		t.Fatalf("clean conv alarmed: fused %d, sweep %d", sF.Alarms.Load(), sS.Alarms.Load())
+	}
+	if sF.Checks.Load() != sS.Checks.Load() {
+		t.Fatalf("check counts differ: fused %d, sweep %d", sF.Checks.Load(), sS.Checks.Load())
+	}
+}
+
+// runABFT executes iters training iterations on an ABFT-wrapped engine with
+// the given fused mode and optional injection, returning the shared state.
+func runABFT(t *testing.T, fused bool, inj *fault.Injection, iters int) *ABFTState {
+	t.Helper()
+	s := NewABFTState(1e-2)
+	s.Fused = fused
+	e := abftEngine(t, s)
+	if inj != nil {
+		i := *inj
+		e.SetInjection(&i)
+	}
+	for i := 0; i < iters; i++ {
+		e.RunIteration(i)
+	}
+	return s
+}
+
+// TestABFTEngineFusedSweepIdenticalAlarms proves alarm-for-alarm equality of
+// the two ABFT modes across whole training runs: clean, with an in-place
+// forward output corruption (exercising the dirty-tensor fallback on the
+// deferred output checksum), and with a weight-gradient fault.
+func TestABFTEngineFusedSweepIdenticalAlarms(t *testing.T) {
+	fwdFault := &fault.Injection{
+		Kind: accel.GlobalG1, LayerIdx: 0, Pass: fault.Forward,
+		Iteration: 3, CycleFrac: 0, N: 4,
+		Seed: rng.Seed{State: 5, Stream: 5},
+	}
+	bwdFault := &fault.Injection{
+		Kind: accel.GlobalG1, LayerIdx: 0, Pass: fault.BackwardWeight,
+		Iteration: 3, CycleFrac: 0, N: 6,
+		Seed: rng.Seed{State: 8, Stream: 8},
+	}
+	cases := []struct {
+		name string
+		inj  *fault.Injection
+		// mustAlarm requires the sweep run to alarm so equivalence is not
+		// vacuous. Weight-gradient faults fire after the backward checksum
+		// read its sums, so both modes agree on missing them — that
+		// agreement is itself the property under test there.
+		mustAlarm bool
+	}{
+		{"clean", nil, false},
+		{"forward-fault", fwdFault, true},
+		{"wgt-grad-fault", bwdFault, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sweep := runABFT(t, false, tc.inj, 8)
+			fused := runABFT(t, true, tc.inj, 8)
+			if fused.Alarms.Load() != sweep.Alarms.Load() {
+				t.Fatalf("alarm counts differ: fused %d, sweep %d",
+					fused.Alarms.Load(), sweep.Alarms.Load())
+			}
+			if fused.LastAlarm() != sweep.LastAlarm() {
+				t.Fatalf("last alarm differs: fused %q, sweep %q",
+					fused.LastAlarm(), sweep.LastAlarm())
+			}
+			if fused.Checks.Load() != sweep.Checks.Load() {
+				t.Fatalf("check counts differ: fused %d, sweep %d",
+					fused.Checks.Load(), sweep.Checks.Load())
+			}
+			if tc.mustAlarm && sweep.Alarms.Load() == 0 {
+				t.Fatal("sweep ABFT missed the fault; equivalence test is vacuous")
+			}
+		})
+	}
+}
+
+// TestRangerFusedSweepIdenticalAlarms runs range restriction in both
+// attachment modes — the fused AbsMaxMonitor fed by layer write-loop stats
+// and the sweeping ForwardMonitor — over an ABFT-wrapped model (exercising
+// the OutAbsMax forwarding through the wrappers), with a forward fault, and
+// requires identical alarm counts and first-alarm iterations.
+func TestRangerFusedSweepIdenticalAlarms(t *testing.T) {
+	inj := &fault.Injection{
+		Kind: accel.GlobalG1, LayerIdx: 0, Pass: fault.Forward,
+		Iteration: 5, CycleFrac: 0, N: 4,
+		Seed: rng.Seed{State: 9, Stream: 9},
+	}
+	run := func(fused bool) *Ranger {
+		s := NewABFTState(1e9) // inert tolerance; exercises wrapped layers
+		s.Fused = fused
+		prof := abftEngine(t, s)
+		r := NewRanger(prof.Replica(0).Len(), 2.0)
+		r.ProfileOnEngine(prof, 10)
+
+		s2 := NewABFTState(1e9)
+		s2.Fused = fused
+		e := abftEngine(t, s2)
+		i := *inj
+		e.SetInjection(&i)
+		r.AttachCheck(e, fused)
+		for it := 0; it < 10; it++ {
+			r.SetIteration(it)
+			e.RunIteration(it)
+		}
+		return r
+	}
+	sweep := run(false)
+	fused := run(true)
+	if sweep.Alarms.Load() == 0 {
+		t.Fatal("sweep ranger missed the forward fault; equivalence test is vacuous")
+	}
+	if fused.Alarms.Load() != sweep.Alarms.Load() {
+		t.Fatalf("alarm counts differ: fused %d, sweep %d", fused.Alarms.Load(), sweep.Alarms.Load())
+	}
+	if fused.FirstAlarmIter() != sweep.FirstAlarmIter() {
+		t.Fatalf("first alarm iter differs: fused %d, sweep %d",
+			fused.FirstAlarmIter(), sweep.FirstAlarmIter())
+	}
+	for l := range sweep.Bounds {
+		if !f64Equal(fused.Bounds[l], sweep.Bounds[l]) {
+			t.Fatalf("profiled bound %d differs: fused %v, sweep %v", l, fused.Bounds[l], sweep.Bounds[l])
+		}
+	}
+}

@@ -40,10 +40,10 @@ func NewRanger(numLayers int, margin float64) *Ranger {
 	return r
 }
 
-// Profile observes clean activations to grow the per-layer bounds. Attach
-// it as the engine's ForwardMonitor during a profiling run.
-func (r *Ranger) Profile(device, layer int, out *tensor.Tensor) {
-	v := float64(out.AbsMax())
+// ProfileAbsMax grows layer's bound from an observed output abs-max — the
+// AbsMaxMonitor form of Profile, fed by the layers' fused reductions.
+func (r *Ranger) ProfileAbsMax(device, layer int, m float32) {
+	v := float64(m)
 	if math.IsNaN(v) {
 		return
 	}
@@ -52,20 +52,44 @@ func (r *Ranger) Profile(device, layer int, out *tensor.Tensor) {
 	}
 }
 
+// Profile observes clean activations to grow the per-layer bounds. Attach
+// it as the engine's ForwardMonitor during a profiling run.
+func (r *Ranger) Profile(device, layer int, out *tensor.Tensor) {
+	r.ProfileAbsMax(device, layer, out.AbsMax())
+}
+
 // SetIteration tells the monitor the current training iteration (for alarm
 // latency reporting).
 func (r *Ranger) SetIteration(iter int) { r.iter.Store(int64(iter)) }
 
-// Check is the detection-mode ForwardMonitor: any activation beyond
-// margin × profiled bound (or any non-finite activation) raises an alarm.
-func (r *Ranger) Check(device, layer int, out *tensor.Tensor) {
-	m := out.AbsMax()
+// CheckAbsMax is the detection check on an already-reduced output abs-max —
+// the AbsMaxMonitor form of Check. The engine guarantees the delivered
+// value equals out.AbsMax() bit for bit (fused stat when clean, sweep when
+// dirty), so alarms are identical between the two attachment modes.
+func (r *Ranger) CheckAbsMax(device, layer int, m float32) {
 	v := float64(m)
 	if !numerics.IsNaN32(m) && v <= r.Bounds[layer]*r.Margin {
 		return
 	}
 	r.Alarms.Add(1)
 	r.firstAlarm.CompareAndSwap(-1, r.iter.Load())
+}
+
+// Check is the detection-mode ForwardMonitor: any activation beyond
+// margin × profiled bound (or any non-finite activation) raises an alarm.
+func (r *Ranger) Check(device, layer int, out *tensor.Tensor) {
+	r.CheckAbsMax(device, layer, out.AbsMax())
+}
+
+// AttachCheck installs the detection monitor on an engine: the fused
+// AbsMaxMonitor (layers reduce their own outputs in their write loops) or
+// the sweeping ForwardMonitor. Both raise identical alarms.
+func (r *Ranger) AttachCheck(e *train.Engine, fused bool) {
+	if fused {
+		e.AbsMaxMonitor = r.CheckAbsMax
+	} else {
+		e.ForwardMonitor = r.Check
+	}
 }
 
 // FirstAlarmIter returns the iteration of the first alarm, or -1.

@@ -77,7 +77,7 @@ func NewGuarded(workloadName string, seed int64) (*recovery.Guarded, *workloads.
 		return nil, nil, err
 	}
 	e := w.NewEngine(rng.Seed{State: uint64(seed), Stream: 77})
-	d := detect.New(detect.Derive(detect.ConfigForModel(e.Replica(0), w.BatchSize(), w.LR)))
+	d := detect.ForEngine(e, w.BatchSize(), w.LR, true)
 	return recovery.NewGuarded(e, d), w, nil
 }
 

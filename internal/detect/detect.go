@@ -20,6 +20,7 @@ package detect
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/nn"
 	"repro/internal/opt"
@@ -236,8 +237,24 @@ type Detector struct {
 	// bounds (Algorithm 1's n_l is per layer); the mvar check always uses
 	// Bounds.Mvar.
 	Layered *LayeredBounds
-	// Checks counts bound evaluations (for overhead reporting).
+	// Fused makes the checks consume the stats the hot path already fused
+	// into its write loops (opt.StepStats history maxima, BatchNorm's mvar
+	// stat) instead of sweeping each tensor. A tensor mutated out-of-band —
+	// fault injection, checkpoint restore — is flagged by the dirty-tensor
+	// protocol, and the check re-sweeps exactly that tensor, so fused and
+	// sweep modes raise bitwise-identical alarms.
+	Fused bool
+	// Checks counts bound evaluations per value class: one per
+	// gradient-history tensor slot (Adam m, Adam v, SGD velocity — one
+	// evaluation covers the whole tensor's abs-max) and one per BatchNorm
+	// moving-variance tensor per device, per Check* call. The unit is
+	// identical between fused and sweep modes, so overhead comparisons
+	// divide by the same count.
 	Checks int
+
+	// names caches the sorted history key set so alarm order is
+	// deterministic (map iteration is not); the key set only grows.
+	names []string
 }
 
 // New creates a detector with the given bounds.
@@ -246,6 +263,22 @@ func New(b Bounds) *Detector { return &Detector{Bounds: b} }
 // NewLayered creates a detector with per-layer history bounds.
 func NewLayered(lb LayeredBounds) *Detector {
 	return &Detector{Bounds: lb.Global, Layered: &lb}
+}
+
+// ForEngine builds the standard detector for a training engine — bounds
+// derived from the replica-0 model via ConfigForModel — shared by the
+// experiment driver, the guarded-run facade and cmd/mitigate. With fused
+// enabled it also switches the engine's optimizer to inline stat
+// collection so the per-iteration checks stop sweeping tensors.
+func ForEngine(e *train.Engine, batchSize int, lr float64, fused bool) *Detector {
+	d := New(Derive(ConfigForModel(e.Replica(0), batchSize, lr)))
+	d.Fused = fused
+	if fused {
+		if ss, ok := e.Optimizer().(opt.StepStats); ok {
+			ss.SetCollectStats(true)
+		}
+	}
+	return d
 }
 
 // CheckEngine scans the engine's optimizer history and normalization
@@ -261,13 +294,30 @@ func (d *Detector) CheckEngine(e *train.Engine) *Alarm {
 
 // CheckHistory checks the optimizer's gradient-history tensors: index 0 of
 // each entry against the first-moment bound, index 1 (if present) against
-// the second-moment bound.
+// the second-moment bound. Tensors are visited in sorted-name order so the
+// first alarm is deterministic. In fused mode the abs-max comes from the
+// optimizer's Step-time stats (opt.StepStats) whenever the tensor is clean;
+// a dirty tensor — mutated by injection or restore since the last Step — is
+// re-swept, which is what keeps fused alarms bitwise-identical to sweep
+// alarms.
 func (d *Detector) CheckHistory(o opt.Optimizer) *Alarm {
 	h := o.History()
 	if h == nil {
 		return nil
 	}
-	for name, ts := range h {
+	if len(d.names) != len(h) {
+		d.names = d.names[:0]
+		for name := range h {
+			d.names = append(d.names, name)
+		}
+		sort.Strings(d.names)
+	}
+	var ss opt.StepStats
+	if d.Fused {
+		ss, _ = o.(opt.StepStats)
+	}
+	for _, name := range d.names {
+		ts := h[name]
 		bounds := d.Bounds
 		if d.Layered != nil {
 			bounds = d.Layered.boundsFor(name)
@@ -280,7 +330,15 @@ func (d *Detector) CheckHistory(o opt.Optimizer) *Alarm {
 				bound = bounds.GradHistorySq
 				label = "hist-v"
 			}
-			v := float64(t.AbsMax())
+			var av float32
+			fused := false
+			if ss != nil && !t.Dirty() {
+				av, fused = ss.HistAbsMax(name, i)
+			}
+			if !fused {
+				av = t.AbsMax()
+			}
+			v := float64(av)
 			if math.IsNaN(v) || v > bound {
 				if math.IsNaN(v) {
 					v = math.Inf(1)
@@ -292,7 +350,9 @@ func (d *Detector) CheckHistory(o opt.Optimizer) *Alarm {
 	return nil
 }
 
-// CheckMvar checks every device's BatchNorm moving variances.
+// CheckMvar checks every device's BatchNorm moving variances. In fused
+// mode each layer's update-time stat replaces the sweep unless the tensor
+// was dirtied out-of-band since the update.
 func (d *Detector) CheckMvar(e *train.Engine) *Alarm {
 	for dev := 0; dev < e.Config().Devices; dev++ {
 		for _, nl := range e.Replica(dev).Layers {
@@ -301,7 +361,15 @@ func (d *Detector) CheckMvar(e *train.Engine) *Alarm {
 				continue
 			}
 			d.Checks++
-			v := float64(bn.MovingVar.AbsMax())
+			var av float32
+			fused := false
+			if d.Fused && !bn.MovingVar.Dirty() {
+				av, fused = bn.MovingVarAbsMax()
+			}
+			if !fused {
+				av = bn.MovingVar.AbsMax()
+			}
+			v := float64(av)
 			if math.IsNaN(v) || v > d.Bounds.Mvar {
 				if math.IsNaN(v) {
 					v = math.Inf(1)

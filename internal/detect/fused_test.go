@@ -1,0 +1,225 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// alarmsIdentical compares alarms bit-for-bit (nil-safe).
+func alarmsIdentical(a, b *Alarm) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Where == b.Where &&
+		math.Float64bits(a.Value) == math.Float64bits(b.Value) &&
+		math.Float64bits(a.Bound) == math.Float64bits(b.Bound)
+}
+
+// fusedSweepPair builds two identical engines with a fused and a sweep
+// detector respectively. Both engines are stepped in lockstep by the tests.
+func fusedSweepPair(t *testing.T) (ef, es *train.Engine, df, ds *Detector) {
+	t.Helper()
+	ef, es = engineForDetect(t), engineForDetect(t)
+	df = ForEngine(ef, 16, 0.01, true)
+	ds = ForEngine(es, 16, 0.01, false)
+	if !df.Fused || ds.Fused {
+		t.Fatal("ForEngine fused flag wiring broken")
+	}
+	return
+}
+
+// corrupt mimics the fault-injection path: mutate the tensor out-of-band and
+// mark it dirty, exactly as fault.Apply does.
+func corrupt(ts *tensor.Tensor, idx int, v float32) {
+	ts.Data[idx] = v
+	ts.MarkDirty()
+}
+
+// historyTensor returns the lexicographically first history entry's tensor
+// at the given slot (first alarm order is sorted by name, so corrupting the
+// first entry makes the expected alarm unambiguous).
+func historyTensor(t *testing.T, e *train.Engine, slot int) *tensor.Tensor {
+	t.Helper()
+	h := e.Optimizer().History()
+	var first string
+	for name := range h {
+		if first == "" || name < first {
+			first = name
+		}
+	}
+	if len(h[first]) <= slot {
+		t.Fatalf("history %q has no slot %d", first, slot)
+	}
+	return h[first][slot]
+}
+
+func TestFusedCleanNoFalsePositivesAndChecksMatch(t *testing.T) {
+	ef, es, df, ds := fusedSweepPair(t)
+	for i := 0; i < 60; i++ {
+		ef.RunIteration(i)
+		es.RunIteration(i)
+		af, as := df.CheckEngine(ef), ds.CheckEngine(es)
+		if af != nil || as != nil {
+			t.Fatalf("false positive at iter %d: fused=%v sweep=%v", i, af, as)
+		}
+	}
+	if df.Checks != ds.Checks || df.Checks == 0 {
+		t.Fatalf("check counts diverge: fused %d, sweep %d", df.Checks, ds.Checks)
+	}
+}
+
+// TestFusedDirtyInjection is the dirty-protocol equivalence test the fused
+// path's correctness rests on: a mid-run out-of-band corruption of Adam m,
+// Adam v, or BatchNorm MovingVar must raise the identical alarm — Where,
+// Value, Bound, and iteration — from the fused and the sweep detector, both
+// on the dirty iteration (re-sweep fallback) and after the next Step folds
+// the corruption into fresh statistics.
+func TestFusedDirtyInjection(t *testing.T) {
+	cases := []struct {
+		name string
+		do   func(t *testing.T, e *train.Engine)
+	}{
+		{"adam-m", func(t *testing.T, e *train.Engine) {
+			corrupt(historyTensor(t, e, 0), 2, 3.6e9)
+		}},
+		{"adam-v", func(t *testing.T, e *train.Engine) {
+			corrupt(historyTensor(t, e, 1), 5, 1e19)
+		}},
+		{"adam-m-nan", func(t *testing.T, e *train.Engine) {
+			corrupt(historyTensor(t, e, 0), 0, float32(math.NaN()))
+		}},
+		{"bn-mvar", func(t *testing.T, e *train.Engine) {
+			for _, nl := range e.Replica(1).Layers {
+				if bn, ok := nl.Layer.(*nn.BatchNorm); ok {
+					corrupt(bn.MovingVar, 3, 6.5e16)
+				}
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ef, es, df, ds := fusedSweepPair(t)
+			for i := 0; i < 5; i++ {
+				ef.RunIteration(i)
+				es.RunIteration(i)
+			}
+			tc.do(t, ef)
+			tc.do(t, es)
+
+			// Checked while dirty: the fused detector must fall back to a
+			// sweep of exactly the corrupted tensor.
+			af, as := df.CheckEngine(ef), ds.CheckEngine(es)
+			if as == nil {
+				t.Fatal("sweep detector missed the corruption")
+			}
+			if !alarmsIdentical(af, as) {
+				t.Fatalf("dirty-iteration alarms differ:\nfused: %v\nsweep: %v", af, as)
+			}
+
+			// After one more Step the owner rewrites the state; the
+			// corruption propagates through the update recurrence into the
+			// fresh fused statistics, and the alarms must still match.
+			ef.RunIteration(5)
+			es.RunIteration(5)
+			af, as = df.CheckEngine(ef), ds.CheckEngine(es)
+			if as == nil {
+				t.Fatal("sweep detector lost the corruption after one step")
+			}
+			if !alarmsIdentical(af, as) {
+				t.Fatalf("post-step alarms differ:\nfused: %v\nsweep: %v", af, as)
+			}
+		})
+	}
+}
+
+// TestFusedStatsActuallyUsed guards against the fused path silently
+// degenerating to sweeps: after a clean iteration the optimizer must serve
+// cached abs-max stats for clean tensors.
+func TestFusedStatsActuallyUsed(t *testing.T) {
+	e := engineForDetect(t)
+	ForEngine(e, 16, 0.01, true)
+	e.RunIteration(0)
+	ss, ok := e.Optimizer().(opt.StepStats)
+	if !ok {
+		t.Fatal("optimizer does not implement StepStats")
+	}
+	h := e.Optimizer().History()
+	for name, ts := range h {
+		for slot, tsr := range ts {
+			if tsr.Dirty() {
+				t.Fatalf("%s[%d] dirty after clean Step", name, slot)
+			}
+			av, fused := ss.HistAbsMax(name, slot)
+			if !fused {
+				t.Fatalf("%s[%d]: no fused stat after clean Step", name, slot)
+			}
+			if math.Float32bits(av) != math.Float32bits(tsr.AbsMax()) {
+				t.Fatalf("%s[%d]: fused stat %v != sweep %v", name, slot, av, tsr.AbsMax())
+			}
+		}
+	}
+	for _, nl := range e.Replica(0).Layers {
+		if bn, ok := nl.Layer.(*nn.BatchNorm); ok {
+			av, fused := bn.MovingVarAbsMax()
+			if !fused {
+				t.Fatalf("%s: no fused mvar stat after training step", bn.Name())
+			}
+			if math.Float32bits(av) != math.Float32bits(bn.MovingVar.AbsMax()) {
+				t.Fatalf("%s: fused mvar stat %v != sweep %v", bn.Name(), av, bn.MovingVar.AbsMax())
+			}
+		}
+	}
+}
+
+// TestFusedStatsResetOnRestore: Engine.Restore repositions optimizer state
+// out-of-band; stale Step stats must not survive it.
+func TestFusedStatsResetOnRestore(t *testing.T) {
+	e := engineForDetect(t)
+	d := ForEngine(e, 16, 0.01, true)
+	snap := e.Snapshot(-1)
+	for i := 0; i < 3; i++ {
+		e.RunIteration(i)
+	}
+	e.Restore(snap)
+	ss := e.Optimizer().(opt.StepStats)
+	h := e.Optimizer().History()
+	for name, ts := range h {
+		for slot := range ts {
+			if _, fused := ss.HistAbsMax(name, slot); fused {
+				t.Fatalf("%s[%d]: stale fused stat survived Restore", name, slot)
+			}
+		}
+	}
+	// The detector must still answer correctly right after the restore
+	// (sweep fallback on the restored tensors).
+	if a := d.CheckEngine(e); a != nil {
+		t.Fatalf("false positive after restore: %v", a)
+	}
+}
+
+func TestSGDMomentumStepStats(t *testing.T) {
+	r := opt.NewSGD(0.1, 0.9)
+	r.SetCollectStats(true)
+	p := &nn.Param{Name: "w", Value: tensor.FromSlice([]float32{1, -2, 3}, 3),
+		Grad: tensor.FromSlice([]float32{0.5, -4, 0.25}, 3)}
+	r.Step([]*nn.Param{p})
+	av, ok := r.HistAbsMax("w", 0)
+	if !ok {
+		t.Fatal("no fused stat after SGD step")
+	}
+	want := r.History()["w"][0].AbsMax()
+	if math.Float32bits(av) != math.Float32bits(want) {
+		t.Fatalf("SGD fused stat %v != sweep %v", av, want)
+	}
+	if _, ok := r.HistAbsMax("w", 1); ok {
+		t.Fatal("SGD has no slot 1")
+	}
+}

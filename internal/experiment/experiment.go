@@ -90,6 +90,13 @@ type Config struct {
 	// one Reset+Restore'd engine per worker. Pooling is also byte-exact;
 	// the knob exists for benchmarking and debugging.
 	NoPool bool
+	// SweepDetect makes the per-experiment bounds detector re-scan the
+	// optimizer history and moving-variance tensors every check instead of
+	// consuming the stats the fused kernel epilogues cache during the step
+	// (detect.Detector.Fused). Alarms — and therefore Records and Tally —
+	// are bitwise-identical either way (TestFusedCampaignEquivalence); the
+	// sweep path exists as a fallback and for overhead benchmarking.
+	SweepDetect bool
 }
 
 // Record is the result of one FI experiment.
@@ -154,7 +161,7 @@ func Run(cfg Config) *Campaign {
 // non-nil, is the worker's reusable engine; otherwise a fresh engine is
 // built. Returns the record, the prefix length skipped, and the suffix
 // iterations executed.
-func runOne(g *Golden, pooled *train.Engine, inj fault.Injection) (Record, int, int) {
+func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, sweepDetect bool) (Record, int, int) {
 	w := g.w
 	start, snap := g.nearest(inj.Iteration)
 	var e *train.Engine
@@ -170,7 +177,7 @@ func runOne(g *Golden, pooled *train.Engine, inj fault.Injection) (Record, int, 
 		}
 	}
 	e.SetInjection(&inj)
-	det := detect.New(detect.Derive(detect.ConfigForModel(e.Replica(0), w.BatchSize(), w.LR)))
+	det := detect.ForEngine(e, w.BatchSize(), w.LR, !sweepDetect)
 
 	rec := Record{Injection: inj, NonFiniteIter: -1, DetectIter: -1, Masked: true}
 	trace := train.NewTrace(w.Name)

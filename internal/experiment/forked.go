@@ -269,7 +269,7 @@ func RunWithGolden(cfg Config, g *Golden) *Campaign {
 				pooled.SetDeviceParallel(cfg.DeviceParallel)
 			}
 			for i := range idxCh {
-				rec, start, done := runOne(g, pooled, injections[i])
+				rec, start, done := runOne(g, pooled, injections[i], cfg.SweepDetect)
 				c.Records[i] = rec
 				atomic.AddInt64(&skipped, int64(start))
 				atomic.AddInt64(&executed, int64(done))

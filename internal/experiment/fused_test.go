@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestFusedCampaignEquivalence is the campaign-level exactness proof for the
+// fused detection path: a campaign whose per-experiment detectors consume
+// the kernel-epilogue stats produces byte-identical Records — including
+// every DetectIter — and Tally to one that re-sweeps the tensors each check.
+// The only difference between the two runs is Config.SweepDetect; injections
+// land directly in optimizer history and moving statistics via the fault
+// model, so the dirty-tensor fallback is exercised across the whole outcome
+// spectrum. ci.sh runs this under -race.
+func TestFusedCampaignEquivalence(t *testing.T) {
+	w, err := workloads.ByName("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iters = 20 // shrink for test speed; mechanics are unchanged
+	base := Config{Workload: w, Experiments: 10, Seed: 3, HorizonMult: 2, InjectFrac: 0.8, Workers: 2}
+
+	sweep := base
+	sweep.SweepDetect = true
+	want := Run(sweep)
+
+	fused := base
+	got := Run(fused)
+
+	assertCampaignsIdentical(t, "fused-vs-sweep", want, got)
+
+	var detected int
+	for i := range want.Records {
+		if want.Records[i].DetectIter >= 0 {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("campaign produced no detections; equivalence test is vacuous")
+	}
+}

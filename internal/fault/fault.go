@@ -256,6 +256,12 @@ func (inj *Injection) Apply(t *tensor.Tensor, chanAxis int) Result {
 	default:
 		panic(fmt.Sprintf("fault: unknown FF kind %v", inj.Kind))
 	}
+	// The injection mutated t outside its producing kernel; any fused stats
+	// cached for t are now stale, so flag it for the detector's sweep
+	// fallback (the dirty-tensor protocol — see tensor.Tensor).
+	if len(res.Indices) > 0 {
+		t.MarkDirty()
+	}
 	return res
 }
 

@@ -11,6 +11,9 @@ import (
 // activation function" (Sec 2), which ReLU does for negative corruption.
 type ReLU struct {
 	lastMask []bool
+
+	outAbsMax  float32
+	outStatsOK bool
 }
 
 // NewReLU creates a ReLU layer.
@@ -22,23 +25,45 @@ func (r *ReLU) Name() string { return "relu" }
 // Params implements Layer.
 func (r *ReLU) Params() []*Param { return nil }
 
-// Forward implements Layer.
-func (r *ReLU) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+// Forward implements Layer. With Context.CollectStats, the copy loop also
+// tracks the output abs-max: only copied positives can contribute (masked
+// elements are 0, whose abs-bits never win the maximum), so the running max
+// equals a post-hoc sweep of the output. A NaN input is masked to 0 by the
+// `v > 0` test, exactly as in the sweep.
+func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(x.Shape...)
 	if cap(r.lastMask) < x.Len() {
 		r.lastMask = make([]bool, x.Len())
 	}
 	r.lastMask = r.lastMask[:x.Len()]
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-			r.lastMask[i] = true
-		} else {
-			r.lastMask[i] = false
+	collect := ctx != nil && ctx.CollectStats
+	var trk tensor.AbsMaxTracker
+	if collect {
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+				r.lastMask[i] = true
+				trk.Observe(v)
+			} else {
+				r.lastMask[i] = false
+			}
+		}
+	} else {
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+				r.lastMask[i] = true
+			} else {
+				r.lastMask[i] = false
+			}
 		}
 	}
+	r.outAbsMax, r.outStatsOK = trk.Value(), collect
 	return out
 }
+
+// OutAbsMax implements OutputStats.
+func (r *ReLU) OutAbsMax() (float32, bool) { return r.outAbsMax, r.outStatsOK }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {

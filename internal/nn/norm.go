@@ -40,6 +40,15 @@ type BatchNorm struct {
 	lastVar   []float32
 	lastShape []int
 	was2D     bool
+
+	// mvarStat is the abs-bits maximum of MovingVar, folded into the O(C)
+	// update recurrence — the fused read behind the detector's Part II
+	// (mvar) bound check. Valid from the first training forward onwards.
+	mvarStat   uint32
+	mvarStatOK bool
+
+	outAbsMax  float32
+	outStatsOK bool
 }
 
 // NewBatchNorm creates a BatchNorm layer over c channels.
@@ -98,10 +107,21 @@ func (bn *BatchNorm) Forward(ctx *Context, xIn *tensor.Tensor) *tensor.Tensor {
 		// Sec 4.2.2. Note the faulty-batch-variance propagation path: a
 		// large |batchVar| (from corrupted inputs) inflates mvar here and
 		// persists across iterations.
+		var vb uint32
 		for ch := 0; ch < c; ch++ {
 			bn.MovingMean.Data[ch] = bn.Momentum*bn.MovingMean.Data[ch] + (1-bn.Momentum)*mean[ch]
-			bn.MovingVar.Data[ch] = bn.Momentum*bn.MovingVar.Data[ch] + (1-bn.Momentum)*variance[ch]
+			mv := bn.Momentum*bn.MovingVar.Data[ch] + (1-bn.Momentum)*variance[ch]
+			bn.MovingVar.Data[ch] = mv
+			if b := tensor.AbsBits(mv); b > vb {
+				vb = b
+			}
 		}
+		// Every element of MovingVar was rewritten (an out-of-band corruption
+		// of the old value propagates into the new one through the recurrence
+		// and is therefore reflected in the fresh stat), so the fused stat is
+		// authoritative again and the dirty flag can be cleared.
+		bn.mvarStat, bn.mvarStatOK = vb, true
+		bn.MovingVar.ClearDirty()
 	} else {
 		mean = bn.MovingMean.Data
 		variance = bn.MovingVar.Data
@@ -111,23 +131,46 @@ func (bn *BatchNorm) Forward(ctx *Context, xIn *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(x.Shape...)
 	xhat := tensor.New(x.Shape...)
 	spatial := h * w
+	collect := ctx != nil && ctx.CollectStats
+	var trk tensor.AbsMaxTracker
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			invStd := 1 / float32(math.Sqrt(float64(variance[ch]+bn.Eps)))
 			g, be, m := bn.Gamma.Value.Data[ch], bn.Beta.Value.Data[ch], mean[ch]
 			base := (b*c + ch) * spatial
-			for i := 0; i < spatial; i++ {
-				xh := (x.Data[base+i] - m) * invStd
-				xhat.Data[base+i] = xh
-				out.Data[base+i] = g*xh + be
+			if collect {
+				for i := 0; i < spatial; i++ {
+					xh := (x.Data[base+i] - m) * invStd
+					xhat.Data[base+i] = xh
+					ov := g*xh + be
+					out.Data[base+i] = ov
+					trk.Observe(ov)
+				}
+			} else {
+				for i := 0; i < spatial; i++ {
+					xh := (x.Data[base+i] - m) * invStd
+					xhat.Data[base+i] = xh
+					out.Data[base+i] = g*xh + be
+				}
 			}
 		}
 	}
+	bn.outAbsMax, bn.outStatsOK = trk.Value(), collect
 	bn.lastXhat = xhat
 	if bn.was2D {
 		return out.Reshape(n, c)
 	}
 	return out
+}
+
+// OutAbsMax implements OutputStats.
+func (bn *BatchNorm) OutAbsMax() (float32, bool) { return bn.outAbsMax, bn.outStatsOK }
+
+// MovingVarAbsMax returns the fused abs-max of MovingVar as of its most
+// recent update, if one has happened. Consumers must fall back to a sweep
+// while MovingVar.Dirty() reports an out-of-band mutation since then.
+func (bn *BatchNorm) MovingVarAbsMax() (float32, bool) {
+	return tensor.AbsMaxOfBits(bn.mvarStat), bn.mvarStatOK
 }
 
 // Backward implements Layer. Standard batch-norm gradient using batch

@@ -37,6 +37,35 @@ func AddBiasNCHW(t, bias *Tensor) {
 	}
 }
 
+// AddBiasNCHWEp performs AddBiasNCHW and additionally returns the lane-rule
+// total sum and running abs-max of the updated t, accumulated during the
+// same write loop. The rows visited — (b*c+ch)*spatial for ascending b, ch —
+// are exactly t's flat layout in ascending order, so seeding each row's lane
+// phase with its flat base offset makes sum bitwise-equal to t.Sum() (and
+// absMax to t.AbsMax()) immediately after the call. This is the fused read
+// ABFT (output checksum) and Ranger (output range) ride on.
+func AddBiasNCHWEp(t, bias *Tensor) (sum float64, absMax float32) {
+	n, c, spatial := channelDims("AddBiasNCHWEp", t)
+	if bias.Len() != c {
+		panic(fmt.Sprintf("tensor: AddBiasNCHWEp bias has %d elements for %d channels", bias.Len(), c))
+	}
+	var l [4]float64
+	var trk AbsMaxTracker
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			bv := bias.Data[ch]
+			base := (b*c + ch) * spatial
+			row := t.Data[base : base+spatial]
+			for i := range row {
+				row[i] += bv
+			}
+			sumLanes(&l, row, base)
+			trk.ObserveSlice(row)
+		}
+	}
+	return laneTotal(&l), trk.Value()
+}
+
 // SumPerChannelNCHW accumulates the sum of each channel of t into into[c]
 // (+=, matching gradient-accumulation semantics): the shared bias-gradient
 // reduction of Conv2D and Dense backward passes. Accumulation order is

@@ -131,6 +131,7 @@ func MatMulInto(dst, a, b *Tensor, mixed bool) *Tensor {
 	m, k, n := checkMatMul(a, b)
 	checkDst("MatMulInto", dst, m, n)
 	zero(dst.Data)
+	dst.ClearDirty()
 	ad, bd, cd := a.Data, b.Data, dst.Data
 	if !runParallel(m, m*k*n) {
 		gemmNN(cd, ad, bd, k, n, mixed, 0, m)
@@ -156,6 +157,7 @@ func MatMulTAInto(dst, a, b *Tensor, mixed bool) *Tensor {
 	k, m, n := checkMatMulTA(a, b)
 	checkDst("MatMulTAInto", dst, m, n)
 	zero(dst.Data)
+	dst.ClearDirty()
 	ad, bd, cd := a.Data, b.Data, dst.Data
 	if !runParallel(m, m*k*n) {
 		gemmTA(cd, ad, bd, k, m, n, mixed, 0, m)
@@ -178,6 +180,7 @@ func MatMulTB(a, b *Tensor, mixed bool) *Tensor {
 func MatMulTBInto(dst, a, b *Tensor, mixed bool) *Tensor {
 	m, k, n := checkMatMulTB(a, b)
 	checkDst("MatMulTBInto", dst, m, n)
+	dst.ClearDirty()
 	ad, bd, cd := a.Data, b.Data, dst.Data
 	if !runParallel(m, m*k*n) {
 		gemmTB(cd, ad, bd, k, n, mixed, 0, m)

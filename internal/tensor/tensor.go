@@ -24,10 +24,34 @@ import (
 )
 
 // Tensor is a dense row-major float32 array with an explicit shape.
+//
+// The dirty flag supports the fused-epilogue detection protocol: cached
+// reductions (optimizer step stats, layer output stats) are valid only while
+// the tensor has not been mutated outside the kernel that produced them.
+// Out-of-band writers — fault injection, checkpoint restore — call MarkDirty;
+// kernels that fully overwrite the tensor (Fill, the MatMul*Into family,
+// Conv2DForwardWS) clear it. Consumers that find Dirty() fall back to a full
+// sweep. Reshape returns a fresh header with a clean flag; monitors holding
+// the original header still see its mark, and nothing caches stats across a
+// reshape, so the flag never goes stale through aliasing in this codebase.
 type Tensor struct {
 	Shape []int
 	Data  []float32
+
+	dirty bool
 }
+
+// MarkDirty records an out-of-band mutation (fault injection, restore);
+// cached reductions over t are no longer trustworthy.
+func (t *Tensor) MarkDirty() { t.dirty = true }
+
+// ClearDirty records that t was fully rewritten by its owning kernel, making
+// freshly fused stats authoritative again.
+func (t *Tensor) ClearDirty() { t.dirty = false }
+
+// Dirty reports whether t was mutated out-of-band since its last full
+// rewrite; consumers of cached stats must re-sweep when it is set.
+func (t *Tensor) Dirty() bool { return t.dirty }
 
 // New allocates a zero-filled tensor with the given shape. It panics on a
 // non-positive dimension: shapes are always program constants here, so a bad
@@ -67,11 +91,14 @@ func (t *Tensor) Clone() *Tensor {
 }
 
 // CopyFrom copies src's data into t. Shapes must have equal element counts.
+// CopyFrom is how restore paths rewrite live state, so it marks t dirty:
+// any stats fused into t's producing kernel predate the copy.
 func (t *Tensor) CopyFrom(src *Tensor) {
 	if len(t.Data) != len(src.Data) {
 		panic("tensor: CopyFrom size mismatch")
 	}
 	copy(t.Data, src.Data)
+	t.dirty = true
 }
 
 // Reshape returns a tensor sharing t's data with a new shape of equal size.
@@ -119,11 +146,13 @@ func (t *Tensor) offset(idx []int) int {
 	return off
 }
 
-// Fill sets every element to v.
+// Fill sets every element to v. A fill is a full rewrite, so it clears the
+// dirty flag (covers ZeroGrad and restore-time gradient zeroing).
 func (t *Tensor) Fill(v float32) {
 	for i := range t.Data {
 		t.Data[i] = v
 	}
+	t.dirty = false
 }
 
 // Zero sets every element to 0.
@@ -190,33 +219,8 @@ func (t *Tensor) AxpyInPlace(alpha float32, u *Tensor) {
 	}
 }
 
-// Sum returns the sum of all elements in float64 to limit accumulation error.
-func (t *Tensor) Sum() float64 {
-	var s float64
-	for _, v := range t.Data {
-		s += float64(v)
-	}
-	return s
-}
-
-// AbsMax returns the maximum absolute value of any element; NaN elements
-// force the result to NaN so non-finite corruption is never hidden.
-func (t *Tensor) AbsMax() float32 {
-	var m float32
-	for _, v := range t.Data {
-		if numerics.IsNaN32(v) {
-			return v
-		}
-		a := v
-		if a < 0 {
-			a = -a
-		}
-		if a > m {
-			m = a
-		}
-	}
-	return m
-}
+// Sum and AbsMax live in reduce.go alongside the rest of the vectorized
+// reduction kernels and the fused-epilogue layer.
 
 // FirstNonFinite returns the index of the first NaN/Inf element, or -1.
 func (t *Tensor) FirstNonFinite() int { return numerics.HasNonFinite(t.Data) }
@@ -376,6 +380,7 @@ func Conv2DForwardWS(ws *Workspace, in, kernel *Tensor, p ConvParams, mixed bool
 			copy(out.Data[dstOff:dstOff+spatial], out2d.Data[srcOff:srcOff+spatial])
 		}
 	}
+	out.ClearDirty()
 	return out, cols
 }
 

@@ -72,6 +72,16 @@ type Engine struct {
 	// range restriction (Sec 6).
 	ForwardMonitor func(device, layer int, out *tensor.Tensor)
 
+	// AbsMaxMonitor is the fused-epilogue alternative to ForwardMonitor for
+	// monitors that only need each output's abs-max (range restriction):
+	// when non-nil, forward passes run with Context.CollectStats so layers
+	// fuse the reduction into their write loops, and the monitor receives
+	// the scalar instead of the tensor. Outputs mutated after the layer
+	// wrote them (fault injection marks them dirty) and layers without
+	// fused stats are swept, so the delivered value is always
+	// bitwise-identical to out.AbsMax().
+	AbsMaxMonitor func(device, layer int, absMax float32)
+
 	// lastResults caches per-device loss results of the latest iteration
 	// (used by detection diagnostics).
 	lastNonFinite string
@@ -154,6 +164,7 @@ func (e *Engine) SetInjections(injs []fault.Injection) {
 func (e *Engine) Reset() {
 	e.SetInjections(nil)
 	e.ForwardMonitor = nil
+	e.AbsMaxMonitor = nil
 	e.lastNonFinite = ""
 }
 
@@ -229,7 +240,8 @@ func (e *Engine) deviceStep(iter, d int, batch data.Batch, exLen int) devStats {
 	x := tensor.FromSlice(batch.X.Data[lo*exLen:(lo+perDev)*exLen], shardShape...)
 	y := batch.Y[lo : lo+perDev]
 
-	ctx := &nn.Context{Training: true, Rand: e.ctxRand(iter, d)}
+	ctx := &nn.Context{Training: true, Rand: e.ctxRand(iter, d),
+		CollectStats: e.AbsMaxMonitor != nil}
 	model := e.replicas[d]
 
 	var fwdHook nn.ForwardHook
@@ -298,6 +310,19 @@ func (e *Engine) deviceStep(iter, d int, batch data.Batch, exLen int) devStats {
 			return o
 		}
 	}
+	if e.AbsMaxMonitor != nil {
+		inner := fwdHook
+		dev := d
+		fwdHook = func(li int, o *tensor.Tensor) *tensor.Tensor {
+			if inner != nil {
+				if replaced := inner(li, o); replaced != nil {
+					o = replaced
+				}
+			}
+			e.AbsMaxMonitor(dev, li, layerOutAbsMax(model.Layers[li].Layer, o))
+			return o
+		}
+	}
 	out := model.Forward(ctx, x, fwdHook)
 	res := e.loss.Eval(out, y)
 	ds.loss = res.Loss
@@ -318,6 +343,21 @@ func (e *Engine) deviceStep(iter, d int, batch data.Batch, exLen int) devStats {
 		}
 	}
 	return ds
+}
+
+// layerOutAbsMax resolves the abs-max of a layer output for AbsMaxMonitor:
+// the layer's fused stat when it has one and the output has not been
+// mutated since the layer wrote it (an injection marks it dirty), otherwise
+// a sweep. Either way the value equals out.AbsMax() bit for bit.
+func layerOutAbsMax(l nn.Layer, out *tensor.Tensor) float32 {
+	if !out.Dirty() {
+		if os, ok := l.(nn.OutputStats); ok {
+			if m, ok := os.OutAbsMax(); ok {
+				return m
+			}
+		}
+	}
+	return out.AbsMax()
 }
 
 // RunIteration executes global iteration iter: per-device forward/backward
