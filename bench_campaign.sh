@@ -10,7 +10,7 @@ set -eu
 cd "$(dirname "$0")"
 benchtime="${BENCHTIME:-3x}"
 
-out=$(go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked|ForkedNoPool|PoolOnly)$' \
+out=$(go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked|ForkedNoPool|ForkedTelemetry|PoolOnly)$' \
 	-benchtime "$benchtime" -count 1 .)
 echo "$out"
 
@@ -22,6 +22,7 @@ cold=$(metric BenchmarkCampaignCold)
 forked=$(metric BenchmarkCampaignForked)
 forkonly=$(metric BenchmarkCampaignForkedNoPool)
 poolonly=$(metric BenchmarkCampaignPoolOnly)
+telem=$(metric BenchmarkCampaignForkedTelemetry)
 if [ -z "$cold" ] || [ -z "$forked" ]; then
 	echo "bench_campaign: missing benchmark output" >&2
 	exit 1
@@ -36,6 +37,7 @@ cat >BENCH_campaign.json <<EOF
   "forked_ns_per_op": $forked,
   "forked_nopool_ns_per_op": ${forkonly:-null},
   "pool_only_ns_per_op": ${poolonly:-null},
+  "forked_telemetry_ns_per_op": ${telem:-null},
   "speedup_forked_vs_cold": $speedup
 }
 EOF

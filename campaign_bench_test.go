@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"repro/internal/experiment"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -56,6 +57,20 @@ func BenchmarkCampaignForked(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = experiment.Run(cfg)
+	}
+}
+
+// BenchmarkCampaignForkedTelemetry is BenchmarkCampaignForked with a live
+// CampaignStats ledger attached — the acceptance gate that telemetry's
+// atomic counters add no measurable overhead (they are touched once per
+// completed experiment, never per iteration).
+func BenchmarkCampaignForkedTelemetry(b *testing.B) {
+	cfg := benchCampaignConfig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := telemetry.NewCampaignStats(cfg.Workload.Name, cfg.Experiments, 0)
+		_, _ = experiment.Resume(cfg, experiment.RunOptions{Stats: stats})
 	}
 }
 

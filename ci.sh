@@ -1,7 +1,8 @@
 #!/bin/sh
-# Repository CI gate: formatting, vet, build, full tests, and race-detector
-# runs of the packages with concurrency (the parallel GEMM kernels, the
-# device-parallel trainer, and the campaign worker pool).
+# Repository CI gate: formatting, vet, package-doc drift, build, full tests,
+# race-detector runs of the packages with concurrency (the parallel GEMM
+# kernels, the device-parallel trainer, and the campaign worker pool), and a
+# kill-and-resume smoke test of the crash-safe campaign journal.
 #
 # Usage: ./ci.sh
 set -eu
@@ -19,6 +20,19 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== package-comment gate (every internal/* package documents itself) =="
+missing=""
+for dir in internal/*/; do
+	name=$(basename "$dir")
+	if ! grep -q "^// Package $name " "$dir"*.go; then
+		missing="$missing $name"
+	fi
+done
+if [ -n "$missing" ]; then
+	echo "internal packages missing a '// Package <name>' comment:$missing" >&2
+	exit 1
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -31,11 +45,26 @@ go test -race ./internal/tensor ./internal/nn ./internal/train
 echo "== fused-mitigation equivalence under -race (epilogue stats == sweeps, alarm for alarm) =="
 go test -race ./internal/detect ./internal/baseline
 
-echo "== campaign equivalence under -race (forked+pooled == cold, fused == sweep, byte for byte) =="
-go test -race ./internal/experiment
+echo "== campaign equivalence under -race (forked+pooled == cold, resume == uninterrupted, byte for byte) =="
+go test -race ./internal/experiment ./internal/record ./internal/telemetry
+
+echo "== kill-and-resume smoke (SIGINT mid-campaign, -resume must reproduce the reference byte for byte) =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/campaign" ./cmd/campaign
+"$tmp/campaign" -workload resnet -n 40 -iters 12 -seed 5 -json "$tmp/ref.json" >/dev/null
+"$tmp/campaign" -workload resnet -n 40 -iters 12 -seed 5 \
+	-journal "$tmp/run.jsonl" >/dev/null 2>&1 &
+pid=$!
+sleep 1
+kill -INT "$pid" 2>/dev/null || true
+wait "$pid" || true # 130 when the interrupt landed mid-run
+"$tmp/campaign" -workload resnet -n 40 -iters 12 -seed 5 \
+	-journal "$tmp/run.jsonl" -resume -json "$tmp/resumed.json" >/dev/null
+cmp "$tmp/ref.json" "$tmp/resumed.json"
 
 echo "== campaign bench smoke (-benchtime=1x) =="
-go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked)$' -benchtime 1x .
+go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked|ForkedTelemetry)$' -benchtime 1x .
 
 echo "== overhead bench smoke (-benchtime=1x) =="
 go test -run '^$' -bench 'BenchmarkOverhead(Plain|DetectCheck(Fused|Sweep)|ABFT(Fused|Sweep))$' -benchtime 1x .

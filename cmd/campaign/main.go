@@ -1,55 +1,97 @@
 // Command campaign runs a statistical fault-injection campaign (Sec 3.3)
 // and prints the paper's aggregate views: the Fig-3 outcome breakdown, the
 // Table-4 necessary-condition ranges, the Sec-4.3.1 FF-class contribution,
-// and the detection-coverage summary.
+// and the detection-coverage summary with latency percentiles.
+//
+// Long campaigns are crash-safe and observable: -journal appends every
+// completed experiment to a write-ahead JSONL log (fsync-batched), SIGINT
+// drains in-flight workers and flushes before exiting, -resume continues
+// an interrupted journal byte-identically to an uninterrupted run, and
+// -status-addr serves live progress (/status JSON, expvar, pprof).
 //
 // Usage:
 //
 //	campaign -workload resnet -n 200
 //	campaign -all -n 60
+//	campaign -workload resnet -n 5000 -journal run.jsonl -status-addr :6070
+//	# ... ^C, crash, or OOM ...
+//	campaign -workload resnet -n 5000 -journal run.jsonl -resume
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"sort"
+	"syscall"
 
-	"repro"
 	"repro/internal/accel"
+	"repro/internal/experiment"
 	"repro/internal/outcome"
 	"repro/internal/record"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "resnet", "workload to inject into")
-		n        = flag.Int("n", 100, "number of fault-injection experiments")
-		seed     = flag.Int64("seed", 1, "campaign seed")
-		all      = flag.Bool("all", false, "run every Table-2 workload")
-		csvOut   = flag.String("csv", "", "write per-experiment rows to this CSV file")
-		jsonOut  = flag.String("json", "", "write the full campaign record to this JSON file")
-		stride   = flag.Int("snapshot-stride", 0, "golden-prefix snapshot stride: 0 = auto (memory-bounded), >0 explicit, <0 disable forking")
-		snapMem  = flag.Int64("snapshot-mem", 0, "auto-stride snapshot cache budget in bytes (0 = 256 MiB)")
-		pool     = flag.Bool("pool", true, "reuse one engine per worker across experiments (Reset+Restore) instead of rebuilding per experiment")
+		workload   = flag.String("workload", "resnet", "workload to inject into")
+		n          = flag.Int("n", 100, "number of fault-injection experiments")
+		seed       = flag.Int64("seed", 1, "campaign seed")
+		iters      = flag.Int("iters", 0, "override the workload's fault-free training length (0 = workload default)")
+		all        = flag.Bool("all", false, "run every Table-2 workload")
+		csvOut     = flag.String("csv", "", "write per-experiment rows to this CSV file")
+		jsonOut    = flag.String("json", "", "write the full campaign record to this JSON file")
+		stride     = flag.Int("snapshot-stride", 0, "golden-prefix snapshot stride: 0 = auto (memory-bounded), >0 explicit, <0 disable forking")
+		snapMem    = flag.Int64("snapshot-mem", 0, "auto-stride snapshot cache budget in bytes (0 = 256 MiB)")
+		pool       = flag.Bool("pool", true, "reuse one engine per worker across experiments (Reset+Restore) instead of rebuilding per experiment")
+		journal    = flag.String("journal", "", "write-ahead journal path: append each completed experiment (crash-safe, fsync-batched)")
+		resume     = flag.Bool("resume", false, "continue the campaign recorded in -journal, skipping completed experiments")
+		repair     = flag.Bool("repair-journal", false, "truncate a torn final journal line (crash mid-append) before resuming")
+		statusAddr = flag.String("status-addr", "", "serve live telemetry on this address (/status, /debug/vars, /debug/pprof)")
 	)
 	flag.Parse()
+
+	if *journal != "" && *all {
+		fatal(fmt.Errorf("-journal tracks one campaign; it cannot be combined with -all"))
+	}
+
+	// SIGINT/SIGTERM cancel the campaign context: the worker pool drains
+	// in-flight experiments, the journal flushes, and partial progress is
+	// reported before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *statusAddr != "" {
+		srv, err := telemetry.Serve(*statusAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/status\n", srv.Addr())
+	}
 
 	names := []string{*workload}
 	if *all {
 		names = names[:0]
-		for _, w := range repro.Workloads() {
+		for _, w := range workloads.All() {
 			names = append(names, w.Name)
 		}
 	}
 
 	for _, name := range names {
-		w, err := repro.WorkloadByName(name)
+		w, err := workloads.ByName(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "campaign:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		c := repro.RunCampaignConfig(repro.CampaignConfig{
+		if *iters > 0 {
+			w.Iters = *iters
+		}
+		cfg := experiment.Config{
 			Workload:          w,
 			Experiments:       *n,
 			Seed:              *seed,
@@ -57,7 +99,66 @@ func main() {
 			SnapshotStride:    *stride,
 			SnapshotMemBudget: *snapMem,
 			NoPool:            !*pool,
+		}
+		g := experiment.PrepareGolden(cfg)
+
+		stats := telemetry.NewCampaignStats(w.Name, cfg.Experiments, workersFor(cfg))
+		telemetry.Activate(stats)
+
+		var j *record.Journal
+		var prior map[int]experiment.Record
+		if *journal != "" {
+			if *repair {
+				removed, err := record.RepairJournal(*journal)
+				if err != nil {
+					fatal(err)
+				}
+				if removed > 0 {
+					fmt.Printf("repaired journal %s: truncated %d bytes of torn tail\n", *journal, removed)
+				}
+			}
+			if _, err := os.Stat(*journal); err == nil {
+				if !*resume {
+					fatal(fmt.Errorf("journal %s already exists; pass -resume to continue it or remove the file", *journal))
+				}
+				j, prior, err = record.OpenJournal(*journal, cfg, g.Ref().Digest())
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("resuming journal %s: %d/%d experiments already complete\n", *journal, len(prior), *n)
+			} else {
+				j, err = record.CreateJournal(*journal, cfg, g.Ref().Digest())
+				if err != nil {
+					fatal(err)
+				}
+			}
+			j.SetStats(stats)
+		}
+
+		var sink experiment.Sink
+		if j != nil {
+			sink = j
+		}
+		c, runErr := experiment.Resume(cfg, experiment.RunOptions{
+			Context: ctx, Golden: g, Prior: prior, Sink: sink, Stats: stats,
 		})
+		if j != nil {
+			if err := j.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if runErr != nil {
+			if errors.Is(runErr, context.Canceled) {
+				fmt.Printf("\ninterrupted: %d/%d experiments complete", c.Completed, *n)
+				if *journal != "" {
+					fmt.Printf(" and journaled to %s — rerun with -resume to continue", *journal)
+				}
+				fmt.Println()
+				os.Exit(130)
+			}
+			fatal(runErr)
+		}
+
 		fmt.Println("================================================================")
 		c.Report(os.Stdout)
 		fmt.Println(c.ForkSummary())
@@ -86,10 +187,11 @@ func main() {
 		fmt.Printf("  groups 1+3 + local control contribute %.1f%% of unexpected outcomes (paper: 55.7–68.5%%)\n", 100*keyShare)
 		fmt.Printf("  upper exponent datapath bits contribute %.1f%% (paper: 31.9–44.3%%)\n", 100*expShare)
 
-		detected, total, maxLat := c.DetectionCoverage()
+		detected, total, _ := c.DetectionCoverage()
 		if total > 0 {
-			fmt.Printf("\ndetection: %d/%d latent+short-term outcomes flagged, max latency %d iterations (guarantee: ≤2)\n",
-				detected, total, maxLat)
+			ls := c.DetectionLatencyStats()
+			fmt.Printf("\ndetection: %d/%d latent+short-term outcomes flagged; latency p50 %.1f / p95 %.1f / max %d iterations (guarantee: ≤2)\n",
+				detected, total, ls.P50, ls.P95, ls.Max)
 		}
 		fmt.Println()
 
@@ -102,16 +204,28 @@ func main() {
 	}
 }
 
+// workersFor mirrors the campaign runner's worker-count resolution for the
+// telemetry ledger's per-worker slots.
+func workersFor(cfg experiment.Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "campaign:", err)
+	os.Exit(1)
+}
+
 func writeFile(path string, write func(*os.File) error) {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "campaign:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer f.Close()
 	if err := write(f); err != nil {
-		fmt.Fprintln(os.Stderr, "campaign:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Println("wrote", path)
 }

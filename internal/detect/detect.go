@@ -102,6 +102,12 @@ func ConfigForModel(model *nn.Sequential, batchSize int, lr float64) Config {
 	depth := 0
 	var visit func(l nn.Layer)
 	visit = func(l nn.Layer) {
+		if c, ok := l.(nn.Container); ok {
+			for _, sub := range c.Sublayers() {
+				visit(sub)
+			}
+			return
+		}
 		switch v := l.(type) {
 		case *nn.Dense:
 			depth++
@@ -112,16 +118,6 @@ func ConfigForModel(model *nn.Sequential, batchSize int, lr float64) Config {
 			depth++
 			if f := v.FanIn(); f > maxFanIn {
 				maxFanIn = f
-			}
-		case *nn.Residual:
-			for _, b := range v.Branch {
-				visit(b)
-			}
-		case *nn.DenseBlock:
-			for _, stage := range v.Stages {
-				for _, b := range stage {
-					visit(b)
-				}
 			}
 		default:
 			if len(l.Params()) > 0 {
@@ -350,16 +346,14 @@ func (d *Detector) CheckHistory(o opt.Optimizer) *Alarm {
 	return nil
 }
 
-// CheckMvar checks every device's BatchNorm moving variances. In fused
-// mode each layer's update-time stat replaces the sweep unless the tensor
-// was dirtied out-of-band since the update.
+// CheckMvar checks every device's BatchNorm moving variances, including
+// normalization layers nested inside residual branches and dense blocks
+// (the layers the paper's Observation 3 singles out). In fused mode each
+// layer's update-time stat replaces the sweep unless the tensor was
+// dirtied out-of-band since the update.
 func (d *Detector) CheckMvar(e *train.Engine) *Alarm {
 	for dev := 0; dev < e.Config().Devices; dev++ {
-		for _, nl := range e.Replica(dev).Layers {
-			bn, ok := nl.Layer.(*nn.BatchNorm)
-			if !ok {
-				continue
-			}
+		for _, bn := range e.Replica(dev).BatchNorms() {
 			d.Checks++
 			var av float32
 			fused := false

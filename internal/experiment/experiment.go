@@ -16,6 +16,14 @@
 // worker reuses one pooled engine across its experiments (see forked.go).
 // Both optimizations are byte-exact — determinism makes the skipped prefix
 // bitwise-identical to the golden run.
+//
+// Campaigns are durable and observable (see resume.go): Resume streams
+// each completed record into a Sink (the write-ahead journal in
+// internal/record), honors context cancellation by draining in-flight
+// workers and flushing before returning, and adopts journaled records from
+// an interrupted run so the continuation is byte-identical to never having
+// stopped. Live progress — throughput, outcome tallies, fork rate, ETA —
+// flows through internal/telemetry.
 package experiment
 
 import (
@@ -132,6 +140,11 @@ type Campaign struct {
 	Records []Record
 	Tally   outcome.Tally
 
+	// Completed counts the records actually present in Records; it is
+	// less than Cfg.Experiments only for a campaign that was cancelled
+	// mid-run (see Resume). Tally covers exactly the completed records.
+	Completed int
+
 	// IterationsSkipped counts golden-prefix iterations reused via
 	// snapshot forking instead of being re-executed; IterationsExecuted
 	// counts the suffix iterations the experiments actually ran. Their sum
@@ -159,9 +172,9 @@ func Run(cfg Config) *Campaign {
 // prefix from the golden trace (the skipped iterations are
 // bitwise-identical to it), and execute only the suffix. pooled, when
 // non-nil, is the worker's reusable engine; otherwise a fresh engine is
-// built. Returns the record, the prefix length skipped, and the suffix
-// iterations executed.
-func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, sweepDetect bool) (Record, int, int) {
+// built. Returns the record, the prefix length skipped, the suffix
+// iterations executed, and the number of detector checks performed.
+func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, sweepDetect bool) (Record, int, int, int) {
 	w := g.w
 	start, snap := g.nearest(inj.Iteration)
 	var e *train.Engine
@@ -180,6 +193,7 @@ func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, sweepDetect bo
 	det := detect.ForEngine(e, w.BatchSize(), w.LR, !sweepDetect)
 
 	rec := Record{Injection: inj, NonFiniteIter: -1, DetectIter: -1, Masked: true}
+	checks := 0
 	trace := train.NewTrace(w.Name)
 	copyGoldenPrefix(trace, g.ref, start)
 	for iter := start; iter < g.horizon; iter++ {
@@ -201,6 +215,7 @@ func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, sweepDetect bo
 			rec.MvarAtT1 = e.MvarAbsMax()
 		}
 		if rec.DetectIter == -1 && iter >= inj.Iteration {
+			checks++
 			if a := det.CheckEngine(e); a != nil {
 				rec.DetectIter = iter
 			}
@@ -221,7 +236,7 @@ func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, sweepDetect bo
 	rec.FinalTrainAcc = trace.FinalTrainAcc(10)
 	rec.FinalTestAcc = trace.FinalTestAcc()
 	rec.NonFiniteIter = trace.NonFiniteIter
-	return rec, start, trace.Completed - start
+	return rec, start, trace.Completed - start, checks
 }
 
 // copyGoldenPrefix reconstructs iterations [0, b) of an experiment trace
@@ -411,6 +426,43 @@ func (c *Campaign) DetectionLatencies() []int {
 	return out
 }
 
+// LatencyStats summarizes the fault-to-alarm latency distribution of the
+// bounds detector across a campaign's detected experiments.
+type LatencyStats struct {
+	// Detected is the number of experiments the detector alarmed on.
+	Detected int
+	// P50 / P95 are latency percentiles in iterations (linear
+	// interpolation between closest ranks).
+	P50, P95 float64
+	// Max is the worst observed latency; the paper's technique guarantees
+	// ≤ 2 iterations (Sec 5.1).
+	Max int
+}
+
+// DetectionLatencyStats computes p50/p95/max of the detection latencies —
+// the distributional view of the paper's latency guarantee, rather than
+// only the worst case.
+func (c *Campaign) DetectionLatencyStats() LatencyStats {
+	lats := c.DetectionLatencies()
+	if len(lats) == 0 {
+		return LatencyStats{}
+	}
+	xs := make([]float64, len(lats))
+	maxLat := lats[0]
+	for i, l := range lats {
+		xs[i] = float64(l)
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	return LatencyStats{
+		Detected: len(lats),
+		P50:      stats.Percentile(xs, 50),
+		P95:      stats.Percentile(xs, 95),
+		Max:      maxLat,
+	}
+}
+
 // OutcomesByPass splits outcome counts by the pass the fault was injected
 // into (Fig 4's forward/backward distinction).
 func (c *Campaign) OutcomesByPass() map[fault.Pass]*outcome.Tally {
@@ -428,7 +480,8 @@ func (c *Campaign) OutcomesByPass() map[fault.Pass]*outcome.Tally {
 }
 
 // Report writes a Fig-3-style outcome breakdown with Wilson confidence
-// intervals.
+// intervals, followed by the detection-latency percentiles (p50/p95/max)
+// when the bounds detector alarmed at least once.
 func (c *Campaign) Report(w io.Writer) {
 	fmt.Fprintf(w, "workload %s: %d experiments, fault-free final acc %.3f\n",
 		c.Cfg.Workload.Name, c.Tally.Total, c.RefAcc)
@@ -442,4 +495,8 @@ func (c *Campaign) Report(w io.Writer) {
 			o, n, 100*p.P, 100*p.Lo, 100*p.Hi)
 	}
 	fmt.Fprintf(w, "  %-18s        %6.2f%%\n", "unexpected-total", 100*c.Tally.UnexpectedFraction())
+	if ls := c.DetectionLatencyStats(); ls.Detected > 0 {
+		fmt.Fprintf(w, "  detection latency (iters): p50 %.1f  p95 %.1f  max %d  (%d alarms)\n",
+			ls.P50, ls.P95, ls.Max, ls.Detected)
+	}
 }

@@ -24,10 +24,7 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/accel"
 	"repro/internal/fault"
@@ -227,64 +224,15 @@ func sampleInjections(cfg Config, numLayers, maxInjectIter int) []fault.Injectio
 // RunWithGolden executes a campaign against a precomputed Golden. Passing
 // the same Golden to several campaigns (different bias settings, repeated
 // sweeps) amortizes the reference run and its snapshot cache across all of
-// them.
+// them. It is Resume with no prior records, no sink, and no cancellation —
+// the fixed worker pool, per-worker engine reuse, and index-ordered tally
+// live there.
 func RunWithGolden(cfg Config, g *Golden) *Campaign {
-	cfg = cfg.withDefaults()
-	if g == nil {
-		g = PrepareGolden(cfg)
-	} else {
-		g.checkCompatible(cfg)
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	c := &Campaign{Cfg: cfg, Ref: g.ref, RefAcc: g.refAcc,
-		Stride: g.stride, Snapshots: len(g.snaps), SnapshotBytes: g.bytes}
-	injections := sampleInjections(cfg, g.numLayers, g.maxInjectIter)
-
-	// Fixed worker pool over a shared index channel: exactly `workers`
-	// goroutines for the whole campaign. Each experiment writes only its
-	// own Records[i], so scheduling order cannot affect results, and the
-	// tally below runs over Records in index order — record order and
-	// outcome totals are identical for any worker count and for pooled vs
-	// fresh engines.
-	c.Records = make([]Record, cfg.Experiments)
-	if workers > len(injections) {
-		workers = len(injections)
-	}
-	var executed, skipped int64
-	idxCh := make(chan int)
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Per-worker engine pool: one engine, re-armed per experiment
-			// via Reset+Restore instead of rebuilt via NewEngine.
-			var pooled *train.Engine
-			if !cfg.NoPool {
-				pooled = g.w.NewEngine(rng.Seed{State: uint64(cfg.Seed), Stream: 77})
-				pooled.SetDeviceParallel(cfg.DeviceParallel)
-			}
-			for i := range idxCh {
-				rec, start, done := runOne(g, pooled, injections[i], cfg.SweepDetect)
-				c.Records[i] = rec
-				atomic.AddInt64(&skipped, int64(start))
-				atomic.AddInt64(&executed, int64(done))
-			}
-		}()
-	}
-	for i := range injections {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
-	c.IterationsExecuted = executed
-	c.IterationsSkipped = skipped
-	for i := range c.Records {
-		c.Tally.Add(c.Records[i].Outcome)
+	c, err := Resume(cfg, RunOptions{Golden: g})
+	if err != nil {
+		// Unreachable: errors only arise from prior records, sinks, or
+		// cancellation, none of which exist here.
+		panic(err)
 	}
 	return c
 }

@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/outcome"
+	"repro/internal/workloads"
+)
+
+// latencyCampaign builds a synthetic campaign whose records alarm with the
+// given fault-to-alarm latencies (in iterations); latency -1 means the
+// detector never fired for that record.
+func latencyCampaign(t *testing.T, latencies []int) *Campaign {
+	t.Helper()
+	w, err := workloads.ByName("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Campaign{Cfg: Config{Workload: w, Experiments: len(latencies)}}
+	for _, lat := range latencies {
+		rec := Record{
+			Injection:  fault.Injection{Iteration: 10},
+			Outcome:    outcome.SlowDegrade,
+			DetectIter: -1,
+		}
+		if lat >= 0 {
+			rec.DetectIter = 10 + lat
+		}
+		c.Records = append(c.Records, rec)
+		c.Tally.Add(rec.Outcome)
+		c.Completed++
+	}
+	return c
+}
+
+// TestDetectionLatencyStats covers the p50/p95/max percentile summary the
+// campaign report prints instead of only the worst-case latency.
+func TestDetectionLatencyStats(t *testing.T) {
+	cases := []struct {
+		name      string
+		latencies []int
+		want      LatencyStats
+	}{
+		{
+			name:      "no alarms",
+			latencies: []int{-1, -1, -1},
+			want:      LatencyStats{},
+		},
+		{
+			name:      "single alarm",
+			latencies: []int{-1, 2, -1},
+			want:      LatencyStats{Detected: 1, P50: 2, P95: 2, Max: 2},
+		},
+		{
+			name:      "uniform latencies",
+			latencies: []int{1, 1, 1, 1},
+			want:      LatencyStats{Detected: 4, P50: 1, P95: 1, Max: 1},
+		},
+		{
+			// Sorted latencies 0,1,1,2 → p50 interpolates to 1,
+			// p95 to 0.85·1 + ... = 1.85... — computed below.
+			name:      "mixed latencies with undetected records",
+			latencies: []int{2, -1, 0, 1, 1, -1},
+			want:      LatencyStats{Detected: 4, P50: 1, P95: 1.85, Max: 2},
+		},
+		{
+			// 0..10 inclusive: p50 = 5, p95 = 9.5.
+			name:      "eleven-point ramp",
+			latencies: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+			want:      LatencyStats{Detected: 11, P50: 5, P95: 9.5, Max: 10},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := latencyCampaign(t, tc.latencies)
+			got := c.DetectionLatencyStats()
+			if got.Detected != tc.want.Detected || got.Max != tc.want.Max {
+				t.Fatalf("DetectionLatencyStats() = %+v, want %+v", got, tc.want)
+			}
+			const eps = 1e-9
+			if math.Abs(got.P50-tc.want.P50) > eps || math.Abs(got.P95-tc.want.P95) > eps {
+				t.Fatalf("percentiles = p50 %g / p95 %g, want p50 %g / p95 %g",
+					got.P50, got.P95, tc.want.P50, tc.want.P95)
+			}
+		})
+	}
+}
+
+// TestReportIncludesLatencyPercentiles: the rendered report must carry the
+// percentile line exactly when alarms exist.
+func TestReportIncludesLatencyPercentiles(t *testing.T) {
+	c := latencyCampaign(t, []int{2, -1, 0, 1, 1, -1})
+	var sb strings.Builder
+	c.Report(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "detection latency (iters): p50 1.0  p95 1.8  max 2  (4 alarms)") {
+		t.Fatalf("report missing latency percentile line:\n%s", out)
+	}
+
+	quiet := latencyCampaign(t, []int{-1, -1})
+	sb.Reset()
+	quiet.Report(&sb)
+	if strings.Contains(sb.String(), "detection latency") {
+		t.Fatalf("report printed a latency line with zero alarms:\n%s", sb.String())
+	}
+}

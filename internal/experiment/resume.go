@@ -1,0 +1,218 @@
+package experiment
+
+// Durable campaign execution: graceful cancellation, write-ahead record
+// sinks, and crash-safe resume.
+//
+// A campaign's records are a pure function of its semantic configuration
+// (Config.Fingerprint): injections are pre-sampled deterministically and
+// every record depends only on its own injection and the shared golden
+// run. Completed records are therefore position-independent — a campaign
+// interrupted after any subset of its experiments can be resumed by
+// replaying that subset from a journal and executing only the complement,
+// and the result is byte-identical to an uninterrupted run
+// (TestResumeEquivalence, enforced under -race in ci.sh).
+//
+// The journal itself lives in internal/record (which already depends on
+// this package); the Sink interface below is the seam between the two:
+// the campaign streams each completed record into the sink from the worker
+// pool, and record.Journal implements Sink with fsync-batched JSONL
+// appends.
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+	"repro/internal/train"
+)
+
+// Fingerprint returns a stable hex hash of the campaign parameters that
+// determine its Records bit for bit: workload identity and length,
+// experiment count, seed, horizon, injection window, and bias settings.
+// Execution knobs (Workers, SnapshotStride, SnapshotMemBudget, NoPool,
+// DeviceParallel, SweepDetect) are deliberately excluded — campaigns are
+// byte-identical across all of them, so a journal written under one
+// execution configuration may be resumed under any other.
+func (cfg Config) Fingerprint() string {
+	cfg = cfg.withDefaults()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "workload=%s|iters=%d|devices=%d|batch=%d|n=%d|seed=%d|horizon=%g|window=%g",
+		cfg.Workload.Name, cfg.Workload.Iters, cfg.Workload.Devices,
+		cfg.Workload.PerDeviceBatch, cfg.Experiments, cfg.Seed,
+		cfg.HorizonMult, cfg.InjectFrac)
+	fmt.Fprintf(h, "|kinds=%v|passes=%v", cfg.BiasKinds, cfg.BiasPasses)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Sink receives completed experiment records as the campaign produces
+// them. Append is called from the campaign's worker goroutines and must be
+// safe for concurrent use; records arrive in completion order, not index
+// order. Flush is called once, after the worker pool drains (on completion
+// or cancellation), and must make every appended record durable.
+type Sink interface {
+	Append(idx int, rec Record) error
+	Flush() error
+}
+
+// RunOptions extends a campaign run with durability and observability.
+// The zero value reproduces Run's behavior exactly.
+type RunOptions struct {
+	// Context, when non-nil, allows graceful cancellation: on
+	// cancellation the campaign stops dispatching new experiments, drains
+	// the in-flight ones to completion, flushes the sink, and returns the
+	// partial campaign together with the context's error.
+	Context context.Context
+	// Golden, when non-nil, is a precomputed fault-free reference
+	// (PrepareGolden); otherwise one is prepared from the config.
+	Golden *Golden
+	// Prior maps experiment indexes to records completed by an earlier
+	// run of the same campaign (replayed from a journal). They are
+	// adopted verbatim — not re-executed — and are validated against the
+	// campaign's deterministically re-sampled injections.
+	Prior map[int]Record
+	// Sink, when non-nil, receives every newly completed record.
+	Sink Sink
+	// Stats, when non-nil, is updated live from the worker pool
+	// (lock-free; see package telemetry).
+	Stats *telemetry.CampaignStats
+}
+
+// Resume executes the campaign described by cfg, continuing from any prior
+// records. It is the durable, cancellable generalization of Run: with zero
+// options it behaves identically; with Prior it skips completed
+// experiments byte-identically to never having stopped; with a cancelled
+// Context it drains in-flight workers, flushes the sink, and returns the
+// partial campaign alongside the context error.
+//
+// Incomplete records are zero-valued in the returned Campaign.Records;
+// Campaign.Completed counts the complete ones and Tally covers exactly
+// those. IterationsSkipped/IterationsExecuted account only for experiments
+// executed by this call (prior records carry no execution cost here).
+func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g := opts.Golden
+	if g == nil {
+		g = PrepareGolden(cfg)
+	} else {
+		g.checkCompatible(cfg)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	c := &Campaign{Cfg: cfg, Ref: g.ref, RefAcc: g.refAcc,
+		Stride: g.stride, Snapshots: len(g.snaps), SnapshotBytes: g.bytes}
+	injections := sampleInjections(cfg, g.numLayers, g.maxInjectIter)
+	c.Records = make([]Record, cfg.Experiments)
+	completed := make([]bool, cfg.Experiments)
+	for i, rec := range opts.Prior {
+		if i < 0 || i >= len(c.Records) {
+			return nil, fmt.Errorf("experiment: prior record index %d out of range [0,%d)", i, len(c.Records))
+		}
+		if rec.Injection != injections[i] {
+			return nil, fmt.Errorf("experiment: prior record %d carries injection %+v but the campaign sampled %+v — the journal belongs to a different campaign configuration",
+				i, rec.Injection, injections[i])
+		}
+		c.Records[i] = rec
+		completed[i] = true
+	}
+	opts.Stats.AddPrior(len(opts.Prior))
+	opts.Stats.SetSweepDetect(cfg.SweepDetect)
+
+	// Never run more workers than there are experiments left: each worker
+	// pre-builds a pooled engine, which is pure waste past that point.
+	pending := 0
+	for i := range completed {
+		if !completed[i] {
+			pending++
+		}
+	}
+	if workers > pending {
+		workers = pending
+	}
+
+	// Fixed worker pool over a shared index channel (see RunWithGolden for
+	// the determinism argument — identical here: each experiment writes
+	// only its own Records[i]). Cancellation stops the feeder; workers
+	// finish their in-flight experiment and exit on channel close, so
+	// every record that reaches the sink is complete.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var sinkErrOnce sync.Once
+	var sinkErr error
+	failSink := func(err error) {
+		sinkErrOnce.Do(func() { sinkErr = err })
+		cancel()
+	}
+	var executed, skipped int64
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			var pooled *train.Engine
+			if !cfg.NoPool {
+				pooled = g.w.NewEngine(rng.Seed{State: uint64(cfg.Seed), Stream: 77})
+				pooled.SetDeviceParallel(cfg.DeviceParallel)
+			}
+			for i := range idxCh {
+				rec, start, done, checks := runOne(g, pooled, injections[i], cfg.SweepDetect)
+				c.Records[i] = rec
+				completed[i] = true
+				atomic.AddInt64(&skipped, int64(start))
+				atomic.AddInt64(&executed, int64(done))
+				opts.Stats.ExperimentDone(wk, rec.Outcome, start, done, checks)
+				if opts.Sink != nil {
+					if err := opts.Sink.Append(i, rec); err != nil {
+						failSink(fmt.Errorf("experiment: journaling record %d: %w", i, err))
+						return
+					}
+				}
+			}
+		}(wk)
+	}
+feed:
+	for i := range injections {
+		if completed[i] {
+			continue
+		}
+		select {
+		case idxCh <- i:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	if opts.Sink != nil {
+		if err := opts.Sink.Flush(); err != nil {
+			failSink(fmt.Errorf("experiment: flushing sink: %w", err))
+		}
+	}
+	c.IterationsExecuted = executed
+	c.IterationsSkipped = skipped
+	for i := range c.Records {
+		if completed[i] {
+			c.Completed++
+			c.Tally.Add(c.Records[i].Outcome)
+		}
+	}
+	if sinkErr != nil {
+		return c, sinkErr
+	}
+	if err := ctx.Err(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

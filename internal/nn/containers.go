@@ -46,6 +46,9 @@ func (r *Residual) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// Sublayers implements Container.
+func (r *Residual) Sublayers() []Layer { return r.Branch }
+
 // Backward implements Layer.
 func (r *Residual) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	grad := gradOut
@@ -87,6 +90,15 @@ func (d *DenseBlock) Params() []*Param {
 		}
 	}
 	return ps
+}
+
+// Sublayers implements Container.
+func (d *DenseBlock) Sublayers() []Layer {
+	var ls []Layer
+	for _, stage := range d.Stages {
+		ls = append(ls, stage...)
+	}
+	return ls
 }
 
 // concatChannels concatenates two NCHW tensors along the channel axis.

@@ -165,6 +165,48 @@ func (s *Sequential) Backward(grad *tensor.Tensor, hook BackwardHook) *tensor.Te
 	return grad
 }
 
+// Container is implemented by layers that nest other layers (Residual,
+// DenseBlock). Traversals that must reach every layer — snapshotting
+// normalization statistics, detector sweeps, bound derivation — recurse
+// through it; walking only Sequential.Layers silently skips the nested
+// ones (the paper's Observation 3 is specifically about normalization
+// layers inside residual branches).
+type Container interface {
+	Sublayers() []Layer
+}
+
+// VisitLayers calls fn for l and, depth-first, for every layer nested in
+// it through Container. The traversal order is structural and therefore
+// deterministic.
+func VisitLayers(l Layer, fn func(Layer)) {
+	fn(l)
+	if c, ok := l.(Container); ok {
+		for _, sub := range c.Sublayers() {
+			VisitLayers(sub, fn)
+		}
+	}
+}
+
+// VisitLayers applies fn to every layer of the model, including layers
+// nested inside container layers.
+func (s *Sequential) VisitLayers(fn func(Layer)) {
+	for _, nl := range s.Layers {
+		VisitLayers(nl.Layer, fn)
+	}
+}
+
+// BatchNorms returns every BatchNorm of the model in deterministic
+// traversal order, including those nested inside container layers.
+func (s *Sequential) BatchNorms() []*BatchNorm {
+	var bns []*BatchNorm
+	s.VisitLayers(func(l Layer) {
+		if bn, ok := l.(*BatchNorm); ok {
+			bns = append(bns, bn)
+		}
+	})
+	return bns
+}
+
 // LayerNames lists layer names in order, for reports.
 func (s *Sequential) LayerNames() []string {
 	names := make([]string, len(s.Layers))

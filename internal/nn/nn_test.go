@@ -401,3 +401,33 @@ func TestAvgPoolPanicsOnBadConfig(t *testing.T) {
 	}()
 	NewAvgPool2D(0, 1)
 }
+
+// TestBatchNormsIncludesNested: the recursive traversal must surface
+// normalization layers hidden inside container layers — the layers the
+// paper's Observation 3 is about. A top-level walk over Sequential.Layers
+// sees only one of the three here.
+func TestBatchNormsIncludesNested(t *testing.T) {
+	r := rng.New(rng.Seed{State: 1, Stream: 1})
+	s := NewSequential(
+		NewConv2D("c1", 1, 4, 3, 3, 1, 1, r, false),
+		NewBatchNorm("bn-top", 4, 0.9),
+		NewResidual("res",
+			NewConv2D("res/c", 4, 4, 3, 3, 1, 1, r, false),
+			NewBatchNorm("bn-res", 4, 0.9),
+			NewReLU(),
+		),
+		NewDenseBlock("blk",
+			[]Layer{NewConv2D("blk/c", 4, 4, 3, 3, 1, 1, r, false), NewBatchNorm("bn-blk", 4, 0.9)},
+		),
+	)
+	bns := s.BatchNorms()
+	if len(bns) != 3 {
+		t.Fatalf("BatchNorms() found %d layers, want 3", len(bns))
+	}
+	want := []string{"bn-top", "bn-res", "bn-blk"}
+	for i, bn := range bns {
+		if bn.Name() != want[i] {
+			t.Fatalf("BatchNorms()[%d] = %s, want %s (traversal order must be structural)", i, bn.Name(), want[i])
+		}
+	}
+}

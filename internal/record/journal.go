@@ -1,0 +1,407 @@
+package record
+
+// Write-ahead campaign journal: crash-safe JSONL persistence of completed
+// FI experiments, so a long campaign (the paper runs tens of thousands of
+// injections per workload, Sec 3.3) survives crashes, OOM kills, and
+// SIGINT without losing finished work.
+//
+// Layout: line 1 is a JSON header binding the journal to one exact
+// campaign — the Config fingerprint (semantic campaign parameters), the
+// seed, and the golden reference run's trace digest (which identifies the
+// binary's numeric behavior: any kernel/model/data change alters it). Each
+// subsequent line is one completed record, `{"i":<index>,"record":{...}}`,
+// appended as the worker pool finishes it and fsynced in batches.
+//
+// Resume contract: OpenJournal validates every header binding and replays
+// the record lines into a map the campaign runner adopts verbatim
+// (experiment.Resume). Because records round-trip exactly — finite floats
+// are encoded with Go's shortest-round-trip formatting, non-finite ones as
+// "+Inf"/"-Inf"/"NaN" markers (record.Float), integers verbatim —
+// a resumed campaign is byte-identical to an uninterrupted one
+// (TestJournalResumeEquivalence). Any mismatch (different seed, different
+// config, different binary, torn or corrupt lines) fails loudly with an
+// actionable error instead of silently mixing divergent trajectories; a
+// torn final line — the signature of a hard crash mid-append — is
+// distinguished as *TornTailError and can be truncated away with
+// RepairJournal.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/experiment"
+	"repro/internal/outcome"
+	"repro/internal/telemetry"
+)
+
+const (
+	// journalFormat / journalVersion identify the container layout.
+	journalFormat  = "fi-journal"
+	journalVersion = 1
+	// journalRecordSchema names the record-line field set; bump when
+	// CampaignRecordJSON changes incompatibly.
+	journalRecordSchema = "campaign-record-v1"
+	// defaultFlushEvery is the fsync batch size: the journal makes work
+	// durable every this many appended records (and on Flush/Close).
+	defaultFlushEvery = 16
+)
+
+// journalHeader is line 1 of a journal file.
+type journalHeader struct {
+	Format       string `json:"format"`
+	Version      int    `json:"version"`
+	RecordSchema string `json:"record_schema"`
+	Workload     string `json:"workload"`
+	Experiments  int    `json:"experiments"`
+	Seed         int64  `json:"seed"`
+	ConfigHash   string `json:"config_hash"`
+	GoldenDigest string `json:"golden_digest"`
+}
+
+// journalLine is one completed experiment.
+type journalLine struct {
+	Index  int                `json:"i"`
+	Record CampaignRecordJSON `json:"record"`
+}
+
+// TornTailError reports a journal whose final line is incomplete — the
+// normal aftermath of a crash or power loss mid-append. ValidSize is the
+// byte offset of the last complete line; everything past it is garbage.
+type TornTailError struct {
+	Path      string
+	ValidSize int64
+	TotalSize int64
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("record: journal %s has a torn final line (%d trailing bytes after offset %d, likely a crash mid-append); run `campaign -repair-journal` or record.RepairJournal to truncate it, then resume",
+		e.Path, e.TotalSize-e.ValidSize, e.ValidSize)
+}
+
+// Journal is an append-only, fsync-batched campaign record log. It
+// implements experiment.Sink; Append is safe for concurrent use by the
+// campaign worker pool.
+type Journal struct {
+	mu         sync.Mutex
+	f          *os.File
+	bw         *bufio.Writer
+	path       string
+	pending    int
+	flushEvery int
+	stats      *telemetry.CampaignStats
+}
+
+// SetStats attaches a telemetry ledger; subsequent appends and fsync
+// batches are counted on it.
+func (j *Journal) SetStats(s *telemetry.CampaignStats) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stats = s
+}
+
+// SetFlushEvery overrides the fsync batch size (records per fsync;
+// minimum 1). Smaller batches lose less work to a hard crash, larger
+// batches cost fewer fsyncs.
+func (j *Journal) SetFlushEvery(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	j.flushEvery = n
+}
+
+// headerFor derives the header binding a journal to cfg and the golden
+// reference run's trace digest.
+func headerFor(cfg experiment.Config, goldenDigest string) journalHeader {
+	return journalHeader{
+		Format:       journalFormat,
+		Version:      journalVersion,
+		RecordSchema: journalRecordSchema,
+		Workload:     cfg.Workload.Name,
+		Experiments:  cfg.Experiments,
+		Seed:         cfg.Seed,
+		ConfigHash:   cfg.Fingerprint(),
+		GoldenDigest: goldenDigest,
+	}
+}
+
+// CreateJournal creates a new journal at path for the campaign described
+// by cfg, whose golden reference trace hashes to goldenDigest
+// (train.Trace.Digest of experiment.Golden.Ref()). The header is written
+// and fsynced before returning, so even an immediately-killed campaign
+// leaves a resumable (empty) journal. Fails if path already exists —
+// continuing an existing journal goes through OpenJournal.
+func CreateJournal(path string, cfg experiment.Config, goldenDigest string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("record: creating journal: %w", err)
+	}
+	j := &Journal{f: f, bw: bufio.NewWriter(f), path: path, flushEvery: defaultFlushEvery}
+	hdr, err := json.Marshal(headerFor(cfg, goldenDigest))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("record: encoding journal header: %w", err)
+	}
+	j.bw.Write(hdr)
+	j.bw.WriteByte('\n')
+	if err := j.flushLocked(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// OpenJournal opens an existing journal for resumption: it validates that
+// the header matches cfg and goldenDigest, replays every record line, and
+// reopens the file for appending. The returned map holds the completed
+// records by experiment index, ready for experiment.RunOptions.Prior.
+//
+// Every mismatch is a distinct loud error: wrong format/version/schema
+// (journal from an incompatible tool or release), wrong workload /
+// experiment count / seed / config hash (journal from a different
+// campaign), wrong golden digest (journal from a different binary — the
+// numeric kernels, model definitions, or datasets changed, so the golden
+// trajectory this journal's records forked from no longer exists), torn
+// final line (*TornTailError, repairable), or corrupt/duplicate/
+// out-of-range record lines.
+func OpenJournal(path string, cfg experiment.Config, goldenDigest string) (*Journal, map[int]experiment.Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("record: opening journal: %w", err)
+	}
+	done, err := parseJournal(path, raw, headerFor(cfg, goldenDigest))
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("record: reopening journal for append: %w", err)
+	}
+	j := &Journal{f: f, bw: bufio.NewWriter(f), path: path, flushEvery: defaultFlushEvery}
+	return j, done, nil
+}
+
+// parseJournal validates raw journal bytes against the expected header and
+// replays the record lines.
+func parseJournal(path string, raw []byte, want journalHeader) (map[int]experiment.Record, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("record: journal %s is empty (not even a header); delete it and start fresh", path)
+	}
+	lines, err := splitJournalLines(path, raw)
+	if err != nil {
+		return nil, err
+	}
+	var got journalHeader
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		return nil, fmt.Errorf("record: journal %s: unparseable header: %v; delete the file and start fresh", path, err)
+	}
+	if got.Format != want.Format || got.Version != want.Version {
+		return nil, fmt.Errorf("record: journal %s has format %s v%d, this binary writes %s v%d — produced by an incompatible tool or release; delete it or use the matching binary",
+			path, got.Format, got.Version, want.Format, want.Version)
+	}
+	if got.RecordSchema != want.RecordSchema {
+		return nil, fmt.Errorf("record: journal %s uses record schema %q, this binary uses %q — the record layout changed between releases; re-run the campaign from scratch",
+			path, got.RecordSchema, want.RecordSchema)
+	}
+	if got.Workload != want.Workload || got.Experiments != want.Experiments || got.Seed != want.Seed {
+		return nil, fmt.Errorf("record: journal %s was written for campaign {workload=%s n=%d seed=%d}, but this run is {workload=%s n=%d seed=%d} — point -journal at the matching file or adjust the flags",
+			path, got.Workload, got.Experiments, got.Seed, want.Workload, want.Experiments, want.Seed)
+	}
+	if got.ConfigHash != want.ConfigHash {
+		return nil, fmt.Errorf("record: journal %s config fingerprint %s does not match this campaign's %s — a semantic parameter (horizon, injection window, bias, workload shape) differs; resume with the original parameters or start a new journal",
+			path, got.ConfigHash, want.ConfigHash)
+	}
+	if got.GoldenDigest != want.GoldenDigest {
+		return nil, fmt.Errorf("record: journal %s golden-run digest %s does not match this binary's %s — the journal was written by a different binary (numeric kernels, model definitions, or datasets changed), so its records forked from a trajectory this binary cannot reproduce; re-run the campaign from scratch",
+			path, got.GoldenDigest, want.GoldenDigest)
+	}
+	done := make(map[int]experiment.Record, len(lines)-1)
+	for ln, line := range lines[1:] {
+		var jl journalLine
+		if err := json.Unmarshal([]byte(line), &jl); err != nil {
+			return nil, fmt.Errorf("record: journal %s line %d is corrupt (%v) — the file was modified outside the campaign tool; restore it from backup or start fresh", path, ln+2, err)
+		}
+		if jl.Index < 0 || jl.Index >= want.Experiments {
+			return nil, fmt.Errorf("record: journal %s line %d: record index %d outside campaign range [0,%d)", path, ln+2, jl.Index, want.Experiments)
+		}
+		if _, dup := done[jl.Index]; dup {
+			return nil, fmt.Errorf("record: journal %s line %d: duplicate record for experiment %d — the journal was appended to by two concurrent campaigns; start fresh", path, ln+2, jl.Index)
+		}
+		rec, err := DecodeCampaignRecord(jl.Record)
+		if err != nil {
+			return nil, fmt.Errorf("record: journal %s line %d: %w", path, ln+2, err)
+		}
+		done[jl.Index] = rec
+	}
+	return done, nil
+}
+
+// splitJournalLines splits raw into newline-terminated lines, reporting a
+// torn tail when the final line is unterminated (crash mid-append).
+func splitJournalLines(path string, raw []byte) ([]string, error) {
+	if raw[len(raw)-1] != '\n' {
+		valid := int64(strings.LastIndexByte(string(raw), '\n') + 1)
+		return nil, &TornTailError{Path: path, ValidSize: valid, TotalSize: int64(len(raw))}
+	}
+	var lines []string
+	for _, l := range strings.Split(string(raw), "\n") {
+		if l != "" {
+			lines = append(lines, l)
+		}
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("record: journal %s contains no header line; delete it and start fresh", path)
+	}
+	return lines, nil
+}
+
+// RepairJournal truncates a torn final line (see TornTailError), returning
+// the number of bytes removed. A journal without a torn tail is left
+// untouched (returns 0). The lost partial record simply re-runs on resume.
+func RepairJournal(path string) (removed int64, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("record: repairing journal: %w", err)
+	}
+	if len(raw) == 0 || raw[len(raw)-1] == '\n' {
+		return 0, nil
+	}
+	valid := int64(strings.LastIndexByte(string(raw), '\n') + 1)
+	if err := os.Truncate(path, valid); err != nil {
+		return 0, fmt.Errorf("record: truncating torn journal tail: %w", err)
+	}
+	return int64(len(raw)) - valid, nil
+}
+
+// Append writes one completed record. Safe for concurrent use; the write
+// becomes durable at the next fsync batch boundary, Flush, or Close.
+func (j *Journal) Append(idx int, rec experiment.Record) error {
+	line, err := json.Marshal(journalLine{Index: idx, Record: EncodeCampaignRecord(&rec)})
+	if err != nil {
+		return fmt.Errorf("record: encoding journal record %d: %w", idx, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("record: append to closed journal %s", j.path)
+	}
+	j.bw.Write(line)
+	if err := j.bw.WriteByte('\n'); err != nil {
+		return fmt.Errorf("record: appending to journal %s: %w", j.path, err)
+	}
+	j.stats.JournalAppend()
+	j.pending++
+	if j.pending >= j.flushEvery {
+		return j.flushLocked()
+	}
+	return nil
+}
+
+// Flush forces buffered records to disk (write + fsync).
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	return j.flushLocked()
+}
+
+func (j *Journal) flushLocked() error {
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("record: flushing journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("record: fsyncing journal %s: %w", j.path, err)
+	}
+	j.pending = 0
+	j.stats.JournalFlush()
+	return nil
+}
+
+// Close flushes and closes the journal. The Journal must not be used
+// afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	flushErr := j.flushLocked()
+	closeErr := j.f.Close()
+	j.f = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	if closeErr != nil {
+		return fmt.Errorf("record: closing journal %s: %w", j.path, closeErr)
+	}
+	return nil
+}
+
+// statically assert the Sink contract.
+var _ experiment.Sink = (*Journal)(nil)
+
+// EncodeCampaignRecord converts one experiment record to its wire form
+// (shared by campaign archives and the journal).
+func EncodeCampaignRecord(r *experiment.Record) CampaignRecordJSON {
+	return CampaignRecordJSON{
+		Injection:     EncodeInjection(r.Injection),
+		Outcome:       r.Outcome.String(),
+		FinalTrainAcc: Float(r.FinalTrainAcc),
+		FinalTestAcc:  Float(r.FinalTestAcc),
+		NonFiniteIter: r.NonFiniteIter,
+		HistAtT:       Float(r.HistAtT), HistAtT1: Float(r.HistAtT1),
+		MvarAtT: Float(r.MvarAtT), MvarAtT1: Float(r.MvarAtT1),
+		DetectIter:    r.DetectIter,
+		InjectedElems: r.InjectedElems,
+		Masked:        r.Masked,
+	}
+}
+
+// DecodeCampaignRecord converts the wire form back to a live record. The
+// round trip is exact: JSON numbers are written with shortest-round-trip
+// float formatting and parsed back to the identical bit patterns, which is
+// what lets a resumed campaign be byte-identical to an uninterrupted one.
+func DecodeCampaignRecord(j CampaignRecordJSON) (experiment.Record, error) {
+	inj, err := DecodeInjection(j.Injection)
+	if err != nil {
+		return experiment.Record{}, err
+	}
+	o, err := outcomeFromName(j.Outcome)
+	if err != nil {
+		return experiment.Record{}, err
+	}
+	return experiment.Record{
+		Injection:     inj,
+		Outcome:       o,
+		FinalTrainAcc: float64(j.FinalTrainAcc),
+		FinalTestAcc:  float64(j.FinalTestAcc),
+		NonFiniteIter: j.NonFiniteIter,
+		HistAtT:       float64(j.HistAtT), HistAtT1: float64(j.HistAtT1),
+		MvarAtT: float64(j.MvarAtT), MvarAtT1: float64(j.MvarAtT1),
+		DetectIter:    j.DetectIter,
+		InjectedElems: j.InjectedElems,
+		Masked:        j.Masked,
+	}, nil
+}
+
+// outcomeFromName resolves a serialized outcome name or errors.
+func outcomeFromName(name string) (outcome.Outcome, error) {
+	if o := outcomeByName(name); o != nil {
+		return *o, nil
+	}
+	return 0, fmt.Errorf("record: unknown outcome %q", name)
+}
+
+// IsTornTail reports whether err is a repairable torn-tail journal error.
+func IsTornTail(err error) bool {
+	var t *TornTailError
+	return errors.As(err, &t)
+}

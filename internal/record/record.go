@@ -3,12 +3,17 @@
 // counterpart of the paper artifact's replay_inj_*.txt output files and
 // injection config CSVs.
 //
-// Two formats are provided:
+// Three formats are provided:
 //
 //   - JSON for full-fidelity round trips (traces, injections, campaign
-//     records), and
+//     records);
 //   - the artifact's line-oriented text format for traces ("iter N loss L
-//     acc A"), which is convenient to eyeball and to plot.
+//     acc A"), which is convenient to eyeball and to plot; and
+//   - the write-ahead campaign journal (journal.go): an append-only,
+//     fsync-batched JSONL log of completed experiments whose header binds
+//     it to one exact campaign (config fingerprint, seed, golden-run
+//     digest), making long campaigns crash-safe and resumable
+//     byte-identically via experiment.Resume.
 package record
 
 import (
@@ -16,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -276,17 +282,66 @@ func ReadTraceText(r io.Reader) (*train.Trace, error) {
 	return t, nil
 }
 
+// Float carries a float64 that may be non-finite through JSON. A fault
+// that blows up the gradient history or moving variance leaves ±Inf/NaN in
+// a record's hist/mvar fields — values encoding/json refuses to emit — so
+// these marshal as the strings "+Inf", "-Inf", "NaN" and decode back to
+// the identical values. Finite values use Go's shortest-round-trip float
+// formatting, preserving bit patterns exactly.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf":
+			*f = Float(math.Inf(1))
+		case "-Inf":
+			*f = Float(math.Inf(-1))
+		case "NaN":
+			*f = Float(math.NaN())
+		default:
+			return fmt.Errorf("record: %q is not a non-finite float marker (+Inf, -Inf, NaN)", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
 // CampaignRecordJSON is the serializable form of one campaign experiment.
 type CampaignRecordJSON struct {
 	Injection     InjectionJSON `json:"injection"`
 	Outcome       string        `json:"outcome"`
-	FinalTrainAcc float64       `json:"final_train_acc"`
-	FinalTestAcc  float64       `json:"final_test_acc"`
+	FinalTrainAcc Float         `json:"final_train_acc"`
+	FinalTestAcc  Float         `json:"final_test_acc"`
 	NonFiniteIter int           `json:"non_finite_iter"`
-	HistAtT       float64       `json:"hist_at_t"`
-	HistAtT1      float64       `json:"hist_at_t1"`
-	MvarAtT       float64       `json:"mvar_at_t"`
-	MvarAtT1      float64       `json:"mvar_at_t1"`
+	HistAtT       Float         `json:"hist_at_t"`
+	HistAtT1      Float         `json:"hist_at_t1"`
+	MvarAtT       Float         `json:"mvar_at_t"`
+	MvarAtT1      Float         `json:"mvar_at_t1"`
 	DetectIter    int           `json:"detect_iter"`
 	InjectedElems int           `json:"injected_elems"`
 	Masked        bool          `json:"masked"`
@@ -310,19 +365,7 @@ func WriteCampaignJSON(w io.Writer, c *experiment.Campaign) error {
 		RefAcc:      c.RefAcc,
 	}
 	for i := range c.Records {
-		r := &c.Records[i]
-		j.Records = append(j.Records, CampaignRecordJSON{
-			Injection:     EncodeInjection(r.Injection),
-			Outcome:       r.Outcome.String(),
-			FinalTrainAcc: r.FinalTrainAcc,
-			FinalTestAcc:  r.FinalTestAcc,
-			NonFiniteIter: r.NonFiniteIter,
-			HistAtT:       r.HistAtT, HistAtT1: r.HistAtT1,
-			MvarAtT: r.MvarAtT, MvarAtT1: r.MvarAtT1,
-			DetectIter:    r.DetectIter,
-			InjectedElems: r.InjectedElems,
-			Masked:        r.Masked,
-		})
+		j.Records = append(j.Records, EncodeCampaignRecord(&c.Records[i]))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -83,10 +83,10 @@ func RenderMarkdown(w io.Writer, c *CampaignJSON) error {
 		if o == nil || (!o.IsLatent() && *o != outcome.ShortTermINFNaN) {
 			continue
 		}
-		if v := maxf(r.HistAtT, r.HistAtT1); v > 0 {
+		if v := maxf(float64(r.HistAtT), float64(r.HistAtT1)); v > 0 {
 			hist.Observe(v)
 		}
-		if v := maxf(r.MvarAtT, r.MvarAtT1); v > 0 {
+		if v := maxf(float64(r.MvarAtT), float64(r.MvarAtT1)); v > 0 {
 			mvar.Observe(v)
 		}
 	}

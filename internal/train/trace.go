@@ -1,5 +1,12 @@
 package train
 
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
 // Trace records the convergence trend of one training run: training loss
 // and accuracy every iteration, test accuracy every Config.TestEvery
 // iterations — the measurements the paper captures in every FI experiment
@@ -58,6 +65,59 @@ func (t *Trace) FinalTestAcc() float64 {
 		return -1
 	}
 	return t.TestAcc[len(t.TestAcc)-1]
+}
+
+// AppendBinary appends a canonical binary serialization of the trace to
+// buf and returns the extended slice. The encoding is defined for partial
+// runs as well as completed ones — every field is length-prefixed and
+// floats are encoded by their IEEE-754 bit patterns — so two traces
+// serialize identically iff they are byte-identical, which is what the
+// campaign journal's golden-run binding (Digest) relies on.
+func (t *Trace) AppendBinary(buf []byte) []byte {
+	u64 := func(v uint64) {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	str := func(s string) {
+		u64(uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	f64s := func(xs []float64) {
+		u64(uint64(len(xs)))
+		for _, x := range xs {
+			u64(math.Float64bits(x))
+		}
+	}
+	ints := func(xs []int) {
+		u64(uint64(len(xs)))
+		for _, x := range xs {
+			u64(uint64(int64(x)))
+		}
+	}
+	str(t.Workload)
+	u64(uint64(int64(t.FaultIter)))
+	f64s(t.TrainLoss)
+	f64s(t.TrainAcc)
+	ints(t.TestIters)
+	f64s(t.TestAcc)
+	f64s(t.TestLoss)
+	u64(uint64(int64(t.NonFiniteIter)))
+	str(t.NonFiniteAt)
+	u64(uint64(int64(t.InjectedElems)))
+	u64(uint64(int64(t.Completed)))
+	return buf
+}
+
+// Digest returns a hex FNV-64a hash of the trace's canonical binary
+// serialization. Because the training engine is bitwise-deterministic, the
+// golden reference run's digest identifies the (binary, workload, seed)
+// triple: any change to the numeric kernels, the model definitions, or the
+// data pipeline changes the digest. The campaign journal stores it so a
+// resume under a different binary fails loudly instead of silently mixing
+// records from divergent trajectories.
+func (t *Trace) Digest() string {
+	h := fnv.New64a()
+	h.Write(t.AppendBinary(nil))
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Run executes iterations [start, end), recording into trace. When

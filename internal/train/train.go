@@ -511,11 +511,7 @@ func (e *Engine) HistoryAbsMax() float64 {
 func (e *Engine) MvarAbsMax() float64 {
 	var m float64
 	for d := 0; d < e.cfg.Devices; d++ {
-		for _, nl := range e.replicas[d].Layers {
-			bn, ok := nl.Layer.(*nn.BatchNorm)
-			if !ok {
-				continue
-			}
+		for _, bn := range e.replicas[d].BatchNorms() {
 			v := float64(bn.MovingVar.AbsMax())
 			if math.IsNaN(v) {
 				return math.Inf(1)
@@ -531,12 +527,7 @@ func (e *Engine) MvarAbsMax() float64 {
 // HasBatchNorm reports whether the model contains normalization layers with
 // moving statistics.
 func (e *Engine) HasBatchNorm() bool {
-	for _, nl := range e.replicas[0].Layers {
-		if _, ok := nl.Layer.(*nn.BatchNorm); ok {
-			return true
-		}
-	}
-	return false
+	return len(e.replicas[0].BatchNorms()) > 0
 }
 
 // State is a deep snapshot of everything needed to rewind training to an
@@ -559,10 +550,8 @@ func (e *Engine) Snapshot(iter int) *State {
 	}
 	for d := 0; d < e.cfg.Devices; d++ {
 		var stats []*tensor.Tensor
-		for _, nl := range e.replicas[d].Layers {
-			if bn, ok := nl.Layer.(*nn.BatchNorm); ok {
-				stats = append(stats, bn.MovingMean.Clone(), bn.MovingVar.Clone())
-			}
+		for _, bn := range e.replicas[d].BatchNorms() {
+			stats = append(stats, bn.MovingMean.Clone(), bn.MovingVar.Clone())
 		}
 		s.BNStats = append(s.BNStats, stats)
 	}
@@ -609,13 +598,9 @@ func (e *Engine) Restore(s *State) {
 			p.Value.CopyFrom(s.Params[pi])
 			p.Grad.Zero()
 		}
-		i := 0
-		for _, nl := range e.replicas[d].Layers {
-			if bn, ok := nl.Layer.(*nn.BatchNorm); ok {
-				bn.MovingMean.CopyFrom(s.BNStats[d][i])
-				bn.MovingVar.CopyFrom(s.BNStats[d][i+1])
-				i += 2
-			}
+		for i, bn := range e.replicas[d].BatchNorms() {
+			bn.MovingMean.CopyFrom(s.BNStats[d][2*i])
+			bn.MovingVar.CopyFrom(s.BNStats[d][2*i+1])
 		}
 	}
 	e.opt.Restore(s.OptState)

@@ -485,3 +485,74 @@ func TestReadStateRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+// residualSetup builds an engine whose model hides a BatchNorm inside a
+// Residual branch — the structure that made Snapshot/Restore silently drop
+// moving statistics when they walked only top-level layers.
+func residualSetup(t testing.TB) *Engine {
+	t.Helper()
+	ds := data.NewGaussianClusters(data.GaussianClustersConfig{
+		Classes: 4, Examples: 256, C: 1, H: 4, W: 4, NoiseStd: 0.4, Seed: 1,
+	})
+	trainSet, testSet := ds.Split(192)
+	loader := data.NewLoader(trainSet, 16, rng.Seed{State: 3, Stream: 3})
+	build := func(r *rng.Rand) *nn.Sequential {
+		return nn.NewSequential(
+			nn.NewConv2D("c1", 1, 4, 3, 3, 1, 1, r, false),
+			nn.NewBatchNorm("bn-top", 4, 0.9),
+			nn.NewReLU(),
+			nn.NewResidual("res",
+				nn.NewConv2D("res/c", 4, 4, 3, 3, 1, 1, r, false),
+				nn.NewBatchNorm("res/bn", 4, 0.9),
+				nn.NewReLU(),
+			),
+			nn.NewGlobalAvgPool(),
+			nn.NewDense("fc", 4, 4, r, false),
+		)
+	}
+	cfg := Config{Devices: 2, PerDeviceBatch: 8, Seed: rng.Seed{State: 7, Stream: 7}, TestEvery: 10}
+	return New(cfg, build, opt.NewAdam(0.01), loader, testSet)
+}
+
+// TestSnapshotRestoresNestedBatchNorm: moving statistics of normalization
+// layers nested in container layers must round-trip through
+// Snapshot/Restore bit for bit, and a restored engine must evaluate
+// identically to one that never left the snapshot's trajectory. Regression
+// test for the pooled-campaign nondeterminism caused by a top-level-only
+// BatchNorm walk.
+func TestSnapshotRestoresNestedBatchNorm(t *testing.T) {
+	e := residualSetup(t)
+	if got := len(e.Replica(0).BatchNorms()); got != 2 {
+		t.Fatalf("model has %d BatchNorms, want 2 (one nested)", got)
+	}
+	for i := 0; i < 4; i++ {
+		e.RunIteration(i)
+	}
+	snap := e.Snapshot(3)
+	if len(snap.BNStats[0]) != 4 {
+		t.Fatalf("snapshot captured %d BN stat tensors per device, want 4 (mean+var for 2 layers)", len(snap.BNStats[0]))
+	}
+	wantLoss, wantAcc := e.Evaluate(0)
+
+	// Drift every moving statistic, nested ones included.
+	for i := 4; i < 8; i++ {
+		e.RunIteration(i)
+	}
+	e.Restore(snap)
+	for d := 0; d < 2; d++ {
+		for i, bn := range e.Replica(d).BatchNorms() {
+			for j := range bn.MovingMean.Data {
+				if math.Float32bits(bn.MovingMean.Data[j]) != math.Float32bits(snap.BNStats[d][2*i].Data[j]) {
+					t.Fatalf("device %d BN %s MovingMean not restored", d, bn.Name())
+				}
+				if math.Float32bits(bn.MovingVar.Data[j]) != math.Float32bits(snap.BNStats[d][2*i+1].Data[j]) {
+					t.Fatalf("device %d BN %s MovingVar not restored", d, bn.Name())
+				}
+			}
+		}
+	}
+	if gotLoss, gotAcc := e.Evaluate(0); gotLoss != wantLoss || gotAcc != wantAcc {
+		t.Fatalf("restored engine evaluates to (%v, %v), snapshot-time evaluation was (%v, %v)",
+			gotLoss, gotAcc, wantLoss, wantAcc)
+	}
+}
