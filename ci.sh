@@ -1,8 +1,11 @@
 #!/bin/sh
 # Repository CI gate: formatting, vet, package-doc drift, build, full tests,
 # race-detector runs of the packages with concurrency (the parallel GEMM
-# kernels, the device-parallel trainer, and the campaign worker pool), and a
-# kill-and-resume smoke test of the crash-safe campaign journal.
+# kernels, the device-parallel trainer, and the campaign worker pool),
+# fuzz smokes of the journal parser/repairer, a graceful SIGINT
+# kill-and-resume smoke, and a SIGKILL crash loop that repeatedly murders a
+# device-fault campaign mid-write and requires -resume -repair-journal to
+# converge to the byte-identical reference.
 #
 # Usage: ./ci.sh
 set -eu
@@ -62,6 +65,33 @@ wait "$pid" || true # 130 when the interrupt landed mid-run
 "$tmp/campaign" -workload resnet -n 40 -iters 12 -seed 5 \
 	-journal "$tmp/run.jsonl" -resume -json "$tmp/resumed.json" >/dev/null
 cmp "$tmp/ref.json" "$tmp/resumed.json"
+
+echo "== journal fuzz smoke (parser must not panic, repairer must converge) =="
+go test -run '^$' -fuzz 'FuzzParseJournal' -fuzztime 3s ./internal/record
+go test -run '^$' -fuzz 'FuzzRepairJournal' -fuzztime 3s ./internal/record
+
+echo "== SIGKILL crash loop (repeated kill -9 mid-campaign, -resume -repair-journal must converge byte for byte) =="
+"$tmp/campaign" -workload resnet -n 40 -iters 12 -seed 7 \
+	-device-faults all -quarantine -json "$tmp/dfref.json" >/dev/null
+round=0
+while [ "$round" -lt 4 ]; do
+	round=$((round + 1))
+	repairflag=""
+	[ -f "$tmp/df.jsonl" ] && repairflag="-repair-journal"
+	"$tmp/campaign" -workload resnet -n 40 -iters 12 -seed 7 \
+		-device-faults all -quarantine \
+		-journal "$tmp/df.jsonl" -resume $repairflag >/dev/null 2>&1 &
+	pid=$!
+	# Vary the kill point per round so different rounds die in different
+	# campaign phases (golden prep, mid-sweep, journal append).
+	sleep "$(awk -v r="$round" 'BEGIN{srand(r); printf "%.2f", 0.2 + rand()*1.0}')"
+	kill -9 "$pid" 2>/dev/null || true
+	wait "$pid" || true # 137 when the kill landed mid-run
+done
+"$tmp/campaign" -workload resnet -n 40 -iters 12 -seed 7 \
+	-device-faults all -quarantine \
+	-journal "$tmp/df.jsonl" -resume -repair-journal -json "$tmp/dfresumed.json" >/dev/null
+cmp "$tmp/dfref.json" "$tmp/dfresumed.json"
 
 echo "== campaign bench smoke (-benchtime=1x) =="
 go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked|ForkedTelemetry)$' -benchtime 1x .

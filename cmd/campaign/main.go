@@ -29,8 +29,11 @@ import (
 	"sort"
 	"syscall"
 
+	"strings"
+
 	"repro/internal/accel"
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/outcome"
 	"repro/internal/record"
 	"repro/internal/telemetry"
@@ -53,11 +56,24 @@ func main() {
 		resume     = flag.Bool("resume", false, "continue the campaign recorded in -journal, skipping completed experiments")
 		repair     = flag.Bool("repair-journal", false, "truncate a torn final journal line (crash mid-append) before resuming")
 		statusAddr = flag.String("status-addr", "", "serve live telemetry on this address (/status, /debug/vars, /debug/pprof)")
+		devFaults  = flag.String("device-faults", "", "run a system-level device-fault campaign instead of FF bit flips: \"all\" or a comma-separated subset of link-sdc,stuck-at,straggler,crash")
+		quarantine = flag.Bool("quarantine", false, "with -device-faults: enable the mitigation pipeline (timeout+retry exclusion, cross-replica check, quarantine + re-execution, hot-rejoin)")
+		degraded   = flag.Bool("degraded", false, "with -quarantine: keep the group degraded after a quarantine instead of attempting hot-rejoins")
 	)
 	flag.Parse()
 
 	if *journal != "" && *all {
 		fatal(fmt.Errorf("-journal tracks one campaign; it cannot be combined with -all"))
+	}
+	deviceFaultKinds, err := parseDeviceFaultKinds(*devFaults)
+	if err != nil {
+		fatal(err)
+	}
+	if *devFaults == "" && (*quarantine || *degraded) {
+		fatal(fmt.Errorf("-quarantine/-degraded apply only to -device-faults campaigns"))
+	}
+	if *degraded && !*quarantine {
+		fatal(fmt.Errorf("-degraded requires -quarantine"))
 	}
 
 	// SIGINT/SIGTERM cancel the campaign context: the worker pool drains
@@ -99,6 +115,10 @@ func main() {
 			SnapshotStride:    *stride,
 			SnapshotMemBudget: *snapMem,
 			NoPool:            !*pool,
+			DeviceFaults:      *devFaults != "",
+			DeviceFaultKinds:  deviceFaultKinds,
+			Quarantine:        *quarantine,
+			Degraded:          *degraded,
 		}
 		g := experiment.PrepareGolden(cfg)
 
@@ -163,29 +183,33 @@ func main() {
 		c.Report(os.Stdout)
 		fmt.Println(c.ForkSummary())
 
-		fmt.Println("\nTable-4 necessary-condition ranges (observed within 2 iterations of the fault):")
-		ranges := c.ConditionRanges()
-		var outs []outcome.Outcome
-		for o := range ranges {
-			outs = append(outs, o)
-		}
-		sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
-		for _, o := range outs {
-			cr := ranges[o]
-			fmt.Printf("  %-18s |grad history| %-28s |mvar| %s\n", o, cr.Hist.String(), cr.Mvar.String())
-		}
-
-		fmt.Println("\nFF-class contribution to unexpected outcomes (Sec 4.3.1):")
-		for _, s := range c.FFContribution() {
-			if s.Unexpected == 0 {
-				continue
+		// The Table-4 / Sec-4.3.1 views are properties of FF bit-flip
+		// sampling; a device-fault campaign's per-FF fields are all zero.
+		if !cfg.DeviceFaults {
+			fmt.Println("\nTable-4 necessary-condition ranges (observed within 2 iterations of the fault):")
+			ranges := c.ConditionRanges()
+			var outs []outcome.Outcome
+			for o := range ranges {
+				outs = append(outs, o)
 			}
-			fmt.Printf("  %-20s %4d injections, %3d unexpected\n", s.Kind, s.Total, s.Unexpected)
+			sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+			for _, o := range outs {
+				cr := ranges[o]
+				fmt.Printf("  %-18s |grad history| %-28s |mvar| %s\n", o, cr.Hist.String(), cr.Mvar.String())
+			}
+
+			fmt.Println("\nFF-class contribution to unexpected outcomes (Sec 4.3.1):")
+			for _, s := range c.FFContribution() {
+				if s.Unexpected == 0 {
+					continue
+				}
+				fmt.Printf("  %-20s %4d injections, %3d unexpected\n", s.Kind, s.Total, s.Unexpected)
+			}
+			keyShare := c.UnexpectedShareOfKinds(accel.GlobalG1, accel.GlobalG3, accel.LocalControl)
+			expShare := c.UnexpectedShareOfKinds(accel.DatapathUpperExponent)
+			fmt.Printf("  groups 1+3 + local control contribute %.1f%% of unexpected outcomes (paper: 55.7–68.5%%)\n", 100*keyShare)
+			fmt.Printf("  upper exponent datapath bits contribute %.1f%% (paper: 31.9–44.3%%)\n", 100*expShare)
 		}
-		keyShare := c.UnexpectedShareOfKinds(accel.GlobalG1, accel.GlobalG3, accel.LocalControl)
-		expShare := c.UnexpectedShareOfKinds(accel.DatapathUpperExponent)
-		fmt.Printf("  groups 1+3 + local control contribute %.1f%% of unexpected outcomes (paper: 55.7–68.5%%)\n", 100*keyShare)
-		fmt.Printf("  upper exponent datapath bits contribute %.1f%% (paper: 31.9–44.3%%)\n", 100*expShare)
 
 		detected, total, _ := c.DetectionCoverage()
 		if total > 0 {
@@ -202,6 +226,24 @@ func main() {
 			writeFile(*jsonOut, func(f *os.File) error { return record.WriteCampaignJSON(f, c) })
 		}
 	}
+}
+
+// parseDeviceFaultKinds resolves the -device-faults flag: "" (FF campaign),
+// "all", or a comma-separated subset of the fault.DeviceFaultKind names.
+func parseDeviceFaultKinds(s string) ([]fault.DeviceFaultKind, error) {
+	if s == "" || s == "all" {
+		return nil, nil // nil = sample from all kinds
+	}
+	var kinds []fault.DeviceFaultKind
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		k, ok := fault.DeviceFaultKindByName(name)
+		if !ok || k == fault.DeviceFaultNone {
+			return nil, fmt.Errorf("-device-faults: unknown kind %q (want a comma-separated subset of link-sdc,stuck-at,straggler,crash, or \"all\")", name)
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
 }
 
 // workersFor mirrors the campaign runner's worker-count resolution for the

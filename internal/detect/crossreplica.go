@@ -1,0 +1,87 @@
+package detect
+
+// Cross-replica gradient-consistency check: the system-level sibling of the
+// Algorithm-1 bounds. The single-accelerator detection technique bounds
+// state *inside* one device; a stuck-at datapath or a corrupted reduction
+// link instead shows up as one device's gradient contribution disagreeing
+// wildly with its peers — all replicas process shards of the same batch
+// with the same weights, so their per-tensor gradient magnitudes are
+// statistically interchangeable. The check compares each arriving device's
+// contribution abs-max against the group median per tensor. The signatures
+// are collected by the collective layer during its accumulation loop
+// (tensor.AddInPlaceAbsMax), so the check costs one compare per tensor per
+// device — no extra tensor sweep.
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/comm"
+)
+
+// GroupCheck holds the cross-replica consistency thresholds.
+type GroupCheck struct {
+	// Ratio flags a device whose contribution abs-max exceeds Ratio × the
+	// group median for that tensor. Healthy replicas differ only by shard
+	// noise (well under one order of magnitude); corrupting faults force
+	// upper exponent bits and blow past any sane ratio.
+	Ratio float64
+	// MinAbs is an absolute floor: contributions below it are never
+	// flagged, whatever the ratio, so near-zero-gradient tensors late in
+	// training cannot false-positive on noise ratios.
+	MinAbs float64
+}
+
+// NewGroupCheck returns the default thresholds used by the campaigns.
+func NewGroupCheck() *GroupCheck {
+	return &GroupCheck{Ratio: 1e4, MinAbs: 1e6}
+}
+
+// GroupAlarm reports one cross-replica inconsistency.
+type GroupAlarm struct {
+	// Device is the outlier replica.
+	Device int
+	// Param is the tensor index within the parameter list.
+	Param int
+	// Value is the device's contribution abs-max.
+	Value float64
+	// Median is the group median abs-max for the tensor.
+	Median float64
+}
+
+// Check scans one collective step's contribution signatures and returns
+// the first inconsistency in deterministic order (tensors ascending, then
+// devices ascending), or nil. A non-finite signature alarms
+// unconditionally; a finite one alarms when it exceeds both MinAbs and
+// Ratio × the group median. Requires at least three arrived devices — with
+// fewer, the outlier drags the median itself and the ratio is meaningless.
+// Returns nil when signature collection was off.
+func (c *GroupCheck) Check(step *comm.ReduceStep) *GroupAlarm {
+	if step == nil || step.Sigs == nil || len(step.Arrived) < 3 {
+		return nil
+	}
+	med := make([]float64, 0, len(step.Arrived))
+	for pi, sig := range step.Sigs {
+		for _, d := range step.Arrived {
+			v := float64(sig[d])
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return &GroupAlarm{Device: d, Param: pi, Value: v}
+			}
+		}
+		med = med[:0]
+		for _, d := range step.Arrived {
+			med = append(med, float64(sig[d]))
+		}
+		sort.Float64s(med)
+		// Lower middle for even counts: with one high outlier in the
+		// group, the median stays on the healthy side.
+		m := med[(len(med)-1)/2]
+		for _, d := range step.Arrived {
+			v := float64(sig[d])
+			if v > c.MinAbs && v > c.Ratio*m {
+				return &GroupAlarm{Device: d, Param: pi, Value: v, Median: m}
+			}
+		}
+	}
+	return nil
+}

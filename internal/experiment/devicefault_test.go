@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/outcome"
+	"repro/internal/workloads"
+)
+
+func deviceFaultConfig(t *testing.T) Config {
+	t.Helper()
+	w, err := workloads.ByName("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iters = 20 // shrink for test speed; mechanics are unchanged
+	return Config{
+		Workload: w, Experiments: 10, Seed: 5,
+		HorizonMult: 2, InjectFrac: 0.8,
+		DeviceFaults: true, Quarantine: true,
+	}
+}
+
+// TestDeviceFaultCampaignDeterministic is the exactness proof for the
+// system-level campaign flavor: a device-fault campaign with quarantine
+// mitigation produces byte-identical Records and Tally across worker
+// counts, snapshot strides, and with or without the per-worker engine pool.
+// ci.sh runs this under -race, so the pooled group-mitigation path can
+// never silently diverge.
+func TestDeviceFaultCampaignDeterministic(t *testing.T) {
+	base := deviceFaultConfig(t)
+
+	cold := base
+	cold.SnapshotStride = -1
+	cold.NoPool = true
+	cold.Workers = 2
+	want := Run(cold)
+
+	cases := []struct {
+		label   string
+		stride  int
+		workers int
+		noPool  bool
+	}{
+		{"stride1-pooled-1worker", 1, 1, false},
+		{"stride5-pooled-3workers", 5, 3, false},
+		{"auto-pooled-2workers", 0, 2, false},
+		{"fork-only-5stride-2workers", 5, 2, true},
+	}
+	for _, tc := range cases {
+		cfg := base
+		cfg.SnapshotStride = tc.stride
+		cfg.Workers = tc.workers
+		cfg.NoPool = tc.noPool
+		got := Run(cfg)
+		assertCampaignsIdentical(t, tc.label, want, got)
+	}
+}
+
+// TestDeviceFaultMitigationPreventsHangs contrasts the two campaign modes
+// on a crash-only fault population: unmitigated, every effective crash
+// hangs the synchronous group; with quarantine, no experiment hangs — the
+// crashed device is excluded after the timeout+retry budget and training
+// completes degraded.
+func TestDeviceFaultMitigationPreventsHangs(t *testing.T) {
+	base := deviceFaultConfig(t)
+	base.DeviceFaultKinds = []fault.DeviceFaultKind{fault.DeviceCrash}
+
+	unmitigated := base
+	unmitigated.Quarantine = false
+	cu := Run(unmitigated)
+	if cu.Tally.Counts[outcome.GroupHang] == 0 {
+		t.Fatal("crash-only campaign without mitigation produced no group hangs")
+	}
+
+	mitigated := base
+	mitigated.Degraded = true
+	cm := Run(mitigated)
+	if n := cm.Tally.Counts[outcome.GroupHang]; n != 0 {
+		t.Fatalf("mitigated campaign still hung %d times", n)
+	}
+	var quarantines int
+	for i := range cm.Records {
+		quarantines += cm.Records[i].Quarantines
+		if cm.Records[i].CommRetries == 0 && cm.Records[i].Quarantines > 0 {
+			t.Fatalf("record %d: quarantine without any retry attempts", i)
+		}
+	}
+	if quarantines == 0 {
+		t.Fatal("mitigated crash campaign quarantined nothing")
+	}
+}
+
+// TestDeviceFaultFingerprint: enabling device faults, or changing the
+// mitigation settings, must change the campaign fingerprint (journals from
+// different flavors must not mix), while the FF fingerprint ignores the
+// device-fault knobs entirely when DeviceFaults is off.
+func TestDeviceFaultFingerprint(t *testing.T) {
+	ff := deviceFaultConfig(t)
+	ff.DeviceFaults = false
+	ff.Quarantine = false
+
+	df := deviceFaultConfig(t)
+	if ff.Fingerprint() == df.Fingerprint() {
+		t.Fatal("FF and device-fault campaigns share a fingerprint")
+	}
+	noQ := df
+	noQ.Quarantine = false
+	if noQ.Fingerprint() == df.Fingerprint() {
+		t.Fatal("quarantine toggle does not change the fingerprint")
+	}
+	deg := df
+	deg.Degraded = true
+	if deg.Fingerprint() == df.Fingerprint() {
+		t.Fatal("degraded toggle does not change the fingerprint")
+	}
+	kinds := df
+	kinds.DeviceFaultKinds = []fault.DeviceFaultKind{fault.DeviceCrash}
+	if kinds.Fingerprint() == df.Fingerprint() {
+		t.Fatal("fault-kind bias does not change the fingerprint")
+	}
+}
+
+// TestDeviceFaultResumeRejectsForeignPrior: a prior record whose device
+// fault does not match the campaign's deterministic sampling is rejected
+// loudly instead of being adopted.
+func TestDeviceFaultResumeRejectsForeignPrior(t *testing.T) {
+	cfg := deviceFaultConfig(t)
+	c := Run(cfg)
+	bad := c.Records[0]
+	bad.DeviceFault.Device++
+	_, err := Resume(cfg, RunOptions{Prior: map[int]Record{0: bad}})
+	if err == nil || !strings.Contains(err.Error(), "device fault") {
+		t.Fatalf("foreign device-fault prior not rejected: %v", err)
+	}
+}
+
+// TestDeviceFaultReportRenders: the campaign report includes the group
+// mitigation summary for device-fault campaigns.
+func TestDeviceFaultReportRenders(t *testing.T) {
+	cfg := deviceFaultConfig(t)
+	c := Run(cfg)
+	var sb strings.Builder
+	c.Report(&sb)
+	if !strings.Contains(sb.String(), "group mitigation:") {
+		t.Fatalf("report missing mitigation summary:\n%s", sb.String())
+	}
+}

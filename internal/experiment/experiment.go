@@ -105,6 +105,24 @@ type Config struct {
 	// are bitwise-identical either way (TestFusedCampaignEquivalence); the
 	// sweep path exists as a fallback and for overhead benchmarking.
 	SweepDetect bool
+	// DeviceFaults switches the campaign from FF bit flips to system-level
+	// device/link faults (fault.DeviceFault): each experiment arms one
+	// sampled fault on the engine's collective group instead of an
+	// Injection. The golden forking, engine pooling, journaling, and
+	// resume machinery apply unchanged.
+	DeviceFaults bool
+	// DeviceFaultKinds, when non-empty, restricts sampling to these kinds
+	// (default: all injectable kinds).
+	DeviceFaultKinds []fault.DeviceFaultKind
+	// Quarantine enables the mitigation path for device-fault experiments:
+	// collective timeout+retry with exclusion, the cross-replica
+	// consistency check, quarantine + two-iteration re-execution, and
+	// hot-rejoin (recovery.GroupGuard). Off, a failed device hangs the
+	// group (outcome.GroupHang) and corruption flows into the weights.
+	Quarantine bool
+	// Degraded, with Quarantine, keeps the group degraded after a
+	// quarantine instead of attempting hot-rejoins.
+	Degraded bool
 }
 
 // Record is the result of one FI experiment.
@@ -130,6 +148,28 @@ type Record struct {
 	InjectedElems int
 	// Masked is true when the injection changed no values.
 	Masked bool
+	// DeviceFault is the sampled system-level fault of a device-fault
+	// campaign (Kind DeviceFaultNone for FF campaigns). For these records
+	// DetectIter is the cross-replica detection iteration and
+	// InjectedElems the corrupted-gradient-element footprint.
+	DeviceFault fault.DeviceFault
+	// QuarantineIter is the iteration a device was first quarantined
+	// (-1 if never).
+	QuarantineIter int
+	// Quarantines / Rejoins count quarantine and hot-rejoin events;
+	// DegradedIters counts iterations run with a partial group;
+	// CommRetries totals collective retry attempts.
+	Quarantines, Rejoins, DegradedIters, CommRetries int
+}
+
+// FaultIteration returns the iteration the experiment's fault takes effect:
+// the device fault's onset for device-fault records, the injection
+// iteration otherwise. Detection latencies are measured from it.
+func (r *Record) FaultIteration() int {
+	if r.DeviceFault.Kind != fault.DeviceFaultNone {
+		return r.DeviceFault.Iteration
+	}
+	return r.Injection.Iteration
 }
 
 // Campaign is a completed batch of experiments.
@@ -192,7 +232,7 @@ func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, sweepDetect bo
 	e.SetInjection(&inj)
 	det := detect.ForEngine(e, w.BatchSize(), w.LR, !sweepDetect)
 
-	rec := Record{Injection: inj, NonFiniteIter: -1, DetectIter: -1, Masked: true}
+	rec := Record{Injection: inj, NonFiniteIter: -1, DetectIter: -1, QuarantineIter: -1, Masked: true}
 	checks := 0
 	trace := train.NewTrace(w.Name)
 	copyGoldenPrefix(trace, g.ref, start)
@@ -221,7 +261,7 @@ func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, sweepDetect bo
 			}
 		}
 		if w.TestEvery > 0 && (iter+1)%w.TestEvery == 0 {
-			tl, ta := e.Evaluate(0)
+			tl, ta := e.Evaluate(e.RootDevice())
 			trace.TestIters = append(trace.TestIters, iter)
 			trace.TestAcc = append(trace.TestAcc, ta)
 			trace.TestLoss = append(trace.TestLoss, tl)
@@ -373,7 +413,7 @@ func (c *Campaign) DetectionCoverage() (detected, total, maxLatency int) {
 		total++
 		if r.DetectIter >= 0 {
 			detected++
-			if lat := r.DetectIter - r.Injection.Iteration; lat > maxLatency {
+			if lat := r.DetectIter - r.FaultIteration(); lat > maxLatency {
 				maxLatency = lat
 			}
 		}
@@ -420,7 +460,7 @@ func (c *Campaign) DetectionLatencies() []int {
 	for i := range c.Records {
 		r := &c.Records[i]
 		if r.DetectIter >= 0 {
-			out = append(out, r.DetectIter-r.Injection.Iteration)
+			out = append(out, r.DetectIter-r.FaultIteration())
 		}
 	}
 	return out
@@ -498,5 +538,17 @@ func (c *Campaign) Report(w io.Writer) {
 	if ls := c.DetectionLatencyStats(); ls.Detected > 0 {
 		fmt.Fprintf(w, "  detection latency (iters): p50 %.1f  p95 %.1f  max %d  (%d alarms)\n",
 			ls.P50, ls.P95, ls.Max, ls.Detected)
+	}
+	if c.Cfg.DeviceFaults {
+		var q, rj, di, cr int
+		for i := range c.Records {
+			r := &c.Records[i]
+			q += r.Quarantines
+			rj += r.Rejoins
+			di += r.DegradedIters
+			cr += r.CommRetries
+		}
+		fmt.Fprintf(w, "  group mitigation: %d quarantines, %d rejoins, %d degraded iters, %d comm retries, %d group hangs\n",
+			q, rj, di, cr, c.Tally.Counts[outcome.GroupHang])
 	}
 }

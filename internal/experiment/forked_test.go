@@ -22,7 +22,13 @@ func recordsEqual(a, b *Record) bool {
 		f64(a.MvarAtT, b.MvarAtT) && f64(a.MvarAtT1, b.MvarAtT1) &&
 		a.DetectIter == b.DetectIter &&
 		a.InjectedElems == b.InjectedElems &&
-		a.Masked == b.Masked
+		a.Masked == b.Masked &&
+		a.DeviceFault == b.DeviceFault &&
+		a.QuarantineIter == b.QuarantineIter &&
+		a.Quarantines == b.Quarantines &&
+		a.Rejoins == b.Rejoins &&
+		a.DegradedIters == b.DegradedIters &&
+		a.CommRetries == b.CommRetries
 }
 
 func assertCampaignsIdentical(t *testing.T, label string, want, got *Campaign) {

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
 	"repro/internal/train"
@@ -46,6 +47,14 @@ func (cfg Config) Fingerprint() string {
 		cfg.Workload.PerDeviceBatch, cfg.Experiments, cfg.Seed,
 		cfg.HorizonMult, cfg.InjectFrac)
 	fmt.Fprintf(h, "|kinds=%v|passes=%v", cfg.BiasKinds, cfg.BiasPasses)
+	// Device-fault campaigns sample a different fault population and may run
+	// the mitigation pipeline; both change the records bit for bit. The
+	// fields are appended only when enabled so every pre-existing FF-campaign
+	// fingerprint (and journal) stays valid.
+	if cfg.DeviceFaults {
+		fmt.Fprintf(h, "|devfaults|dkinds=%v|quarantine=%t|degraded=%t",
+			cfg.DeviceFaultKinds, cfg.Quarantine, cfg.Degraded)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -112,14 +121,25 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 
 	c := &Campaign{Cfg: cfg, Ref: g.ref, RefAcc: g.refAcc,
 		Stride: g.stride, Snapshots: len(g.snaps), SnapshotBytes: g.bytes}
-	injections := sampleInjections(cfg, g.numLayers, g.maxInjectIter)
+	var injections []fault.Injection
+	var deviceFaults []fault.DeviceFault
+	if cfg.DeviceFaults {
+		deviceFaults = sampleDeviceFaults(cfg, g.maxInjectIter)
+	} else {
+		injections = sampleInjections(cfg, g.numLayers, g.maxInjectIter)
+	}
 	c.Records = make([]Record, cfg.Experiments)
 	completed := make([]bool, cfg.Experiments)
 	for i, rec := range opts.Prior {
 		if i < 0 || i >= len(c.Records) {
 			return nil, fmt.Errorf("experiment: prior record index %d out of range [0,%d)", i, len(c.Records))
 		}
-		if rec.Injection != injections[i] {
+		if cfg.DeviceFaults {
+			if rec.DeviceFault != deviceFaults[i] {
+				return nil, fmt.Errorf("experiment: prior record %d carries device fault %+v but the campaign sampled %+v — the journal belongs to a different campaign configuration",
+					i, rec.DeviceFault, deviceFaults[i])
+			}
+		} else if rec.Injection != injections[i] {
 			return nil, fmt.Errorf("experiment: prior record %d carries injection %+v but the campaign sampled %+v — the journal belongs to a different campaign configuration",
 				i, rec.Injection, injections[i])
 		}
@@ -167,12 +187,19 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 				pooled.SetDeviceParallel(cfg.DeviceParallel)
 			}
 			for i := range idxCh {
-				rec, start, done, checks := runOne(g, pooled, injections[i], cfg.SweepDetect)
+				var rec Record
+				var start, done, checks int
+				if cfg.DeviceFaults {
+					rec, start, done, checks = runDeviceFault(g, pooled, deviceFaults[i], cfg)
+				} else {
+					rec, start, done, checks = runOne(g, pooled, injections[i], cfg.SweepDetect)
+				}
 				c.Records[i] = rec
 				completed[i] = true
 				atomic.AddInt64(&skipped, int64(start))
 				atomic.AddInt64(&executed, int64(done))
 				opts.Stats.ExperimentDone(wk, rec.Outcome, start, done, checks)
+				opts.Stats.GroupMitigation(rec.Quarantines, rec.Rejoins, rec.DegradedIters, rec.CommRetries)
 				if opts.Sink != nil {
 					if err := opts.Sink.Append(i, rec); err != nil {
 						failSink(fmt.Errorf("experiment: journaling record %d: %w", i, err))
@@ -183,7 +210,7 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 		}(wk)
 	}
 feed:
-	for i := range injections {
+	for i := range completed {
 		if completed[i] {
 			continue
 		}

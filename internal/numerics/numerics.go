@@ -89,6 +89,16 @@ func FlipBit32(f float32, pos uint) float32 {
 	return math.Float32frombits(math.Float32bits(f) ^ (1 << pos))
 }
 
+// SetBit32 returns f with the bit at position pos forced to 1 — the
+// stuck-at-1 fault primitive: unlike a transient flip, re-applying it every
+// cycle models a permanently faulty datapath lane.
+func SetBit32(f float32, pos uint) float32 {
+	if pos > 31 {
+		panic("numerics: SetBit32 position out of range")
+	}
+	return math.Float32frombits(math.Float32bits(f) | (1 << pos))
+}
+
 // FlipBitBF16 returns f with the bit at position pos (0..15) of its bfloat16
 // encoding inverted, then expanded back to float32. The MAC datapath holds
 // operands in bfloat16, so flips there act on the 16-bit encoding.

@@ -51,6 +51,19 @@ const (
 	// LowTestAccuracy: training accuracy normal, test accuracy visibly
 	// degraded (Fig 2d); caused by corrupted mvar only.
 	LowTestAccuracy
+	// GroupHang: a device-level failure (crash or hopeless straggler)
+	// stalled the synchronous collective and the group could not make
+	// progress — the system-level analogue of a visible anomaly; without
+	// mitigation the run is lost.
+	GroupHang
+	// DegradedComplete: a faulty device was quarantined and training
+	// completed on the surviving D−k replicas with rescaled averaging,
+	// final accuracy inside the fault-free noise band.
+	DegradedComplete
+	// QuarantinedRecovered: the faulty device was quarantined, later
+	// hot-rejoined from a healthy peer, and the run finished at full group
+	// strength inside the fault-free noise band.
+	QuarantinedRecovered
 	numOutcomes
 )
 
@@ -59,6 +72,7 @@ func (o Outcome) String() string {
 	names := [...]string{
 		"Benign", "SlightDegradation", "ImmediateINFNaN", "ShortTermINFNaN",
 		"SlowDegrade", "SharpSlowDegrade", "SharpDegrade", "LowTestAccuracy",
+		"GroupHang", "DegradedComplete", "QuarantinedRecovered",
 	}
 	if int(o) < len(names) {
 		return names[o]
@@ -67,9 +81,13 @@ func (o Outcome) String() string {
 }
 
 // IsUnexpected reports whether the outcome belongs to the paper's second
-// category (unexpected training outcomes, Table 3).
+// category (unexpected training outcomes, Table 3). The two mitigated
+// system-level outcomes count as expected: the run ended inside the
+// fault-free noise band, which is the whole point of quarantine and
+// degraded-mode training. GroupHang is unexpected — the run was lost.
 func (o Outcome) IsUnexpected() bool {
-	return o != Benign && o != SlightDegradation
+	return o != Benign && o != SlightDegradation &&
+		o != DegradedComplete && o != QuarantinedRecovered
 }
 
 // IsLatent reports whether the outcome is one of the four latent outcomes

@@ -161,7 +161,7 @@ func TestOutcomePredicates(t *testing.T) {
 	if ImmediateINFNaN.IsLatent() || Benign.IsLatent() {
 		t.Fatal("non-latent outcome marked latent")
 	}
-	if len(All()) != 8 {
+	if len(All()) != 11 {
 		t.Fatalf("All() returned %d outcomes", len(All()))
 	}
 }

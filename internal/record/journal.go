@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/outcome"
 	"repro/internal/telemetry"
 )
@@ -44,8 +45,12 @@ const (
 	journalFormat  = "fi-journal"
 	journalVersion = 1
 	// journalRecordSchema names the record-line field set; bump when
-	// CampaignRecordJSON changes incompatibly.
-	journalRecordSchema = "campaign-record-v1"
+	// CampaignRecordJSON changes incompatibly. v2 added the device-fault
+	// fields (device_fault, quarantine_iter, mitigation counters); v1 lines
+	// would decode with a zero QuarantineIter where the live record uses -1,
+	// silently breaking the byte-identical resume contract, so they are
+	// rejected at the schema gate instead.
+	journalRecordSchema = "campaign-record-v2"
 	// defaultFlushEvery is the fsync batch size: the journal makes work
 	// durable every this many appended records (and on Flush/Close).
 	defaultFlushEvery = 16
@@ -61,6 +66,11 @@ type journalHeader struct {
 	Seed         int64  `json:"seed"`
 	ConfigHash   string `json:"config_hash"`
 	GoldenDigest string `json:"golden_digest"`
+	// DeviceFaults summarizes a device-fault campaign's fault population
+	// and mitigation settings ("" for FF campaigns). Checked before the
+	// config hash so mixing the two campaign flavors fails with a specific
+	// message rather than an opaque fingerprint mismatch.
+	DeviceFaults string `json:"device_faults,omitempty"`
 }
 
 // journalLine is one completed experiment.
@@ -119,7 +129,7 @@ func (j *Journal) SetFlushEvery(n int) {
 // headerFor derives the header binding a journal to cfg and the golden
 // reference run's trace digest.
 func headerFor(cfg experiment.Config, goldenDigest string) journalHeader {
-	return journalHeader{
+	h := journalHeader{
 		Format:       journalFormat,
 		Version:      journalVersion,
 		RecordSchema: journalRecordSchema,
@@ -129,6 +139,11 @@ func headerFor(cfg experiment.Config, goldenDigest string) journalHeader {
 		ConfigHash:   cfg.Fingerprint(),
 		GoldenDigest: goldenDigest,
 	}
+	if cfg.DeviceFaults {
+		h.DeviceFaults = fmt.Sprintf("kinds=%v quarantine=%t degraded=%t",
+			cfg.DeviceFaultKinds, cfg.Quarantine, cfg.Degraded)
+	}
+	return h
 }
 
 // CreateJournal creates a new journal at path for the campaign described
@@ -212,6 +227,10 @@ func parseJournal(path string, raw []byte, want journalHeader) (map[int]experime
 	if got.Workload != want.Workload || got.Experiments != want.Experiments || got.Seed != want.Seed {
 		return nil, fmt.Errorf("record: journal %s was written for campaign {workload=%s n=%d seed=%d}, but this run is {workload=%s n=%d seed=%d} — point -journal at the matching file or adjust the flags",
 			path, got.Workload, got.Experiments, got.Seed, want.Workload, want.Experiments, want.Seed)
+	}
+	if got.DeviceFaults != want.DeviceFaults {
+		return nil, fmt.Errorf("record: journal %s was written for a campaign with device-fault settings %q, but this run uses %q — FF and device-fault campaigns (and different mitigation settings) sample different fault populations and cannot share a journal; point -journal at the matching file or start a new one",
+			path, got.DeviceFaults, want.DeviceFaults)
 	}
 	if got.ConfigHash != want.ConfigHash {
 		return nil, fmt.Errorf("record: journal %s config fingerprint %s does not match this campaign's %s — a semantic parameter (horizon, injection window, bias, workload shape) differs; resume with the original parameters or start a new journal",
@@ -359,10 +378,26 @@ func EncodeCampaignRecord(r *experiment.Record) CampaignRecordJSON {
 		NonFiniteIter: r.NonFiniteIter,
 		HistAtT:       Float(r.HistAtT), HistAtT1: Float(r.HistAtT1),
 		MvarAtT: Float(r.MvarAtT), MvarAtT1: Float(r.MvarAtT1),
-		DetectIter:    r.DetectIter,
-		InjectedElems: r.InjectedElems,
-		Masked:        r.Masked,
+		DetectIter:     r.DetectIter,
+		InjectedElems:  r.InjectedElems,
+		Masked:         r.Masked,
+		DeviceFault:    encodeDeviceFaultPtr(r.DeviceFault),
+		QuarantineIter: r.QuarantineIter,
+		Quarantines:    r.Quarantines,
+		Rejoins:        r.Rejoins,
+		DegradedIters:  r.DegradedIters,
+		CommRetries:    r.CommRetries,
 	}
+}
+
+// encodeDeviceFaultPtr keeps FF-record lines free of the device-fault
+// object: only records carrying a real fault encode one.
+func encodeDeviceFaultPtr(f fault.DeviceFault) *DeviceFaultJSON {
+	if f.Kind == fault.DeviceFaultNone {
+		return nil
+	}
+	j := EncodeDeviceFault(f)
+	return &j
 }
 
 // DecodeCampaignRecord converts the wire form back to a live record. The
@@ -378,7 +413,7 @@ func DecodeCampaignRecord(j CampaignRecordJSON) (experiment.Record, error) {
 	if err != nil {
 		return experiment.Record{}, err
 	}
-	return experiment.Record{
+	rec := experiment.Record{
 		Injection:     inj,
 		Outcome:       o,
 		FinalTrainAcc: float64(j.FinalTrainAcc),
@@ -386,10 +421,23 @@ func DecodeCampaignRecord(j CampaignRecordJSON) (experiment.Record, error) {
 		NonFiniteIter: j.NonFiniteIter,
 		HistAtT:       float64(j.HistAtT), HistAtT1: float64(j.HistAtT1),
 		MvarAtT: float64(j.MvarAtT), MvarAtT1: float64(j.MvarAtT1),
-		DetectIter:    j.DetectIter,
-		InjectedElems: j.InjectedElems,
-		Masked:        j.Masked,
-	}, nil
+		DetectIter:     j.DetectIter,
+		InjectedElems:  j.InjectedElems,
+		Masked:         j.Masked,
+		QuarantineIter: j.QuarantineIter,
+		Quarantines:    j.Quarantines,
+		Rejoins:        j.Rejoins,
+		DegradedIters:  j.DegradedIters,
+		CommRetries:    j.CommRetries,
+	}
+	if j.DeviceFault != nil {
+		df, err := DecodeDeviceFault(*j.DeviceFault)
+		if err != nil {
+			return experiment.Record{}, err
+		}
+		rec.DeviceFault = df
+	}
+	return rec, nil
 }
 
 // outcomeFromName resolves a serialized outcome name or errors.

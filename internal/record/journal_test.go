@@ -38,7 +38,13 @@ func journalRecordsEqual(a, b *experiment.Record) bool {
 		f64(a.MvarAtT, b.MvarAtT) && f64(a.MvarAtT1, b.MvarAtT1) &&
 		a.DetectIter == b.DetectIter &&
 		a.InjectedElems == b.InjectedElems &&
-		a.Masked == b.Masked
+		a.Masked == b.Masked &&
+		a.DeviceFault == b.DeviceFault &&
+		a.QuarantineIter == b.QuarantineIter &&
+		a.Quarantines == b.Quarantines &&
+		a.Rejoins == b.Rejoins &&
+		a.DegradedIters == b.DegradedIters &&
+		a.CommRetries == b.CommRetries
 }
 
 // interruptingSink journals every record and cancels the campaign after

@@ -139,6 +139,46 @@ func ReadInjectionJSON(r io.Reader) (fault.Injection, error) {
 	return DecodeInjection(j)
 }
 
+// DeviceFaultJSON is the serializable form of a system-level device/link
+// fault — like InjectionJSON, a plain mirror of fault.DeviceFault with
+// stable field names.
+type DeviceFaultJSON struct {
+	Kind       string `json:"kind"`
+	Device     int    `json:"device"`
+	Iteration  int    `json:"iteration"`
+	BitPos     uint   `json:"bit_pos"`
+	Lane       int    `json:"lane"`
+	Flips      int    `json:"flips"`
+	DelayTicks int    `json:"delay_ticks"`
+	RepairIter int    `json:"repair_iter"`
+	SeedState  uint64 `json:"seed_state"`
+	SeedStrm   uint64 `json:"seed_stream"`
+}
+
+// EncodeDeviceFault converts a device fault to its serializable form.
+func EncodeDeviceFault(f fault.DeviceFault) DeviceFaultJSON {
+	return DeviceFaultJSON{
+		Kind: f.Kind.String(), Device: f.Device, Iteration: f.Iteration,
+		BitPos: f.BitPos, Lane: f.Lane, Flips: f.Flips,
+		DelayTicks: f.DelayTicks, RepairIter: f.RepairIter,
+		SeedState: f.Seed.State, SeedStrm: f.Seed.Stream,
+	}
+}
+
+// DecodeDeviceFault converts the serialized form back.
+func DecodeDeviceFault(j DeviceFaultJSON) (fault.DeviceFault, error) {
+	kind, ok := fault.DeviceFaultKindByName(j.Kind)
+	if !ok {
+		return fault.DeviceFault{}, fmt.Errorf("record: unknown device-fault kind %q", j.Kind)
+	}
+	return fault.DeviceFault{
+		Kind: kind, Device: j.Device, Iteration: j.Iteration,
+		BitPos: j.BitPos, Lane: j.Lane, Flips: j.Flips,
+		DelayTicks: j.DelayTicks, RepairIter: j.RepairIter,
+		Seed: rng.Seed{State: j.SeedState, Stream: j.SeedStrm},
+	}, nil
+}
+
 // TraceJSON is the serializable form of a training trace.
 type TraceJSON struct {
 	Workload      string    `json:"workload"`
@@ -345,6 +385,15 @@ type CampaignRecordJSON struct {
 	DetectIter    int           `json:"detect_iter"`
 	InjectedElems int           `json:"injected_elems"`
 	Masked        bool          `json:"masked"`
+	// Device-fault campaign fields (schema v2). DeviceFault is nil on FF
+	// records; QuarantineIter is always encoded (-1 = never) so the
+	// round trip stays exact for both campaign flavors.
+	DeviceFault    *DeviceFaultJSON `json:"device_fault,omitempty"`
+	QuarantineIter int              `json:"quarantine_iter"`
+	Quarantines    int              `json:"quarantines,omitempty"`
+	Rejoins        int              `json:"rejoins,omitempty"`
+	DegradedIters  int              `json:"degraded_iters,omitempty"`
+	CommRetries    int              `json:"comm_retries,omitempty"`
 }
 
 // CampaignJSON is the serializable form of a campaign summary.

@@ -62,7 +62,11 @@ func RenderMarkdown(w io.Writer, c *CampaignJSON) error {
 			latent++
 			if r.DetectIter >= 0 {
 				detected++
-				if l := r.DetectIter - r.Injection.Iteration; l > maxLat {
+				fi := r.Injection.Iteration
+				if r.DeviceFault != nil {
+					fi = r.DeviceFault.Iteration
+				}
+				if l := r.DetectIter - fi; l > maxLat {
 					maxLat = l
 				}
 			}

@@ -1,0 +1,197 @@
+package recovery
+
+// Group-level mitigation: the system-level counterpart of Guarded. Where
+// Guarded pairs the single-accelerator detection bounds with two-iteration
+// re-execution, GroupGuard pairs the collective layer's failure reports and
+// the cross-replica consistency check with quarantine, degraded-mode
+// continuation, and hot-rejoin:
+//
+//   - A device that exhausts the collective timeout+retry budget (crash,
+//     hopeless straggler) is excluded by the engine mid-iteration; its
+//     contribution never entered the reduction, so no rollback is needed —
+//     the group just continues degraded with rescaled averaging.
+//   - A device whose contribution fails the cross-replica check (stuck-at
+//     datapath, link SDC) is quarantined AND the corrupted update is undone
+//     with the paper's two-iteration re-execution: the alarm fires in the
+//     same collective that consumed the corrupt gradients, so the
+//     corruption is at most two snapshots deep.
+//   - After RejoinAfter clean iterations, a quarantined device hot-rejoins
+//     by replicating weights and normalization statistics from the healthy
+//     root peer (train.Engine.Rejoin). A still-faulty device immediately
+//     re-fails and is re-quarantined; MaxRejoins bounds the cycle.
+
+import (
+	"fmt"
+
+	"repro/internal/detect"
+	"repro/internal/train"
+)
+
+// GroupEvent records one quarantine or rejoin episode.
+type GroupEvent struct {
+	// Iteration is when the event happened.
+	Iteration int
+	// Device is the affected replica.
+	Device int
+	// Kind is "quarantine-timeout" (crash/straggler exclusion),
+	// "quarantine-corrupt" (cross-replica alarm), or "rejoin".
+	Kind string
+	// ResumedFrom is the re-execution resume iteration for
+	// quarantine-corrupt events; -1 otherwise (no rollback needed).
+	ResumedFrom int
+}
+
+// GroupGuard couples an engine with the group-level mitigation pipeline.
+// NewGroupGuard arms the engine's collective for it (exclusion policy +
+// contribution signatures).
+type GroupGuard struct {
+	E *train.Engine
+	R *ReExecutor
+	// Check is the cross-replica consistency check run after every
+	// iteration's collective.
+	Check *detect.GroupCheck
+	// RejoinAfter is how many iterations after its quarantine a device is
+	// given a hot-rejoin attempt; 0 keeps the group degraded for the rest
+	// of the run.
+	RejoinAfter int
+	// MaxRejoins bounds rejoin attempts per device, so a permanently
+	// faulty device cannot oscillate in and out of the group forever.
+	MaxRejoins int
+
+	// Events lists every quarantine/rejoin episode in order.
+	Events []GroupEvent
+	// Quarantines, Rejoins, Rollbacks and DegradedIters count mitigation
+	// activity: devices removed, devices returned, two-iteration
+	// re-executions, and iterations run with a partial group.
+	Quarantines, Rejoins, Rollbacks, DegradedIters int
+	// CommRetries totals the collective retry attempts across the run.
+	CommRetries int
+	// CorruptElems totals the gradient elements corrupted by the armed
+	// device fault across the run (the system-level injection footprint).
+	CorruptElems int
+
+	quarantinedAt map[int]int // device -> iteration of latest quarantine
+	rejoins       map[int]int // device -> rejoin attempts used
+}
+
+// NewGroupGuard builds the group-mitigated trainer and switches the
+// engine's collective to the mitigation policy: timed-out devices are
+// excluded (not group-hung) and contribution signatures are collected for
+// the cross-replica check.
+func NewGroupGuard(e *train.Engine) *GroupGuard {
+	p := e.Group().Policy()
+	p.Exclude = true
+	e.Group().SetPolicy(p)
+	e.Group().SetCollectSigs(true)
+	return &GroupGuard{
+		E: e, R: NewReExecutor(e), Check: detect.NewGroupCheck(),
+		RejoinAfter: 8, MaxRejoins: 2,
+		quarantinedAt: map[int]int{}, rejoins: map[int]int{},
+	}
+}
+
+// Run executes iterations [start, end) with group-level mitigation,
+// recording metrics into trace. It returns an error only if the whole
+// group fails (nothing left to reduce over).
+func (g *GroupGuard) Run(start, end int, trace *train.Trace) error {
+	iter := start
+	for iter < end {
+		// Hot-rejoin due devices before stepping, ascending device order.
+		if g.RejoinAfter > 0 {
+			for d := 0; d < g.E.Config().Devices; d++ {
+				at, q := g.quarantinedAt[d]
+				if !q || iter < at+g.RejoinAfter || g.rejoins[d] >= g.MaxRejoins {
+					continue
+				}
+				if err := g.E.Rejoin(d); err != nil {
+					continue
+				}
+				delete(g.quarantinedAt, d)
+				g.rejoins[d]++
+				g.Rejoins++
+				g.Events = append(g.Events, GroupEvent{Iteration: iter, Device: d, Kind: "rejoin", ResumedFrom: -1})
+			}
+		}
+
+		g.R.BeforeIteration(iter)
+		st := g.E.RunIteration(iter)
+		g.CommRetries += st.CommRetries
+		g.CorruptElems += st.DeviceFaultElems
+		if st.GroupHang {
+			return fmt.Errorf("recovery: collective hang at iteration %d with exclusion policy (no healthy devices left)", iter)
+		}
+		trace.TrainLoss = append(trace.TrainLoss, st.Loss)
+		trace.TrainAcc = append(trace.TrainAcc, st.TrainAcc)
+		trace.Completed++
+		if st.Degraded {
+			g.DegradedIters++
+		}
+
+		// Timed-out devices were excluded before their contribution
+		// entered the reduction and already quarantined by the engine —
+		// record the episode, no rollback needed.
+		for _, d := range st.DevicesFailed {
+			g.quarantinedAt[d] = iter
+			g.Quarantines++
+			g.Events = append(g.Events, GroupEvent{Iteration: iter, Device: d, Kind: "quarantine-timeout", ResumedFrom: -1})
+		}
+
+		// Cross-replica consistency: a corrupt contribution was consumed
+		// by this iteration's reduction, so quarantine the outlier AND
+		// undo the poisoned update with two-iteration re-execution.
+		if a := g.Check.Check(g.E.LastReduce()); a != nil {
+			g.E.Quarantine(a.Device)
+			g.quarantinedAt[a.Device] = iter
+			g.Quarantines++
+			resume := g.R.Rollback()
+			g.Rollbacks++
+			rolledBack := iter - resume + 1
+			trace.TrainLoss = trace.TrainLoss[:len(trace.TrainLoss)-rolledBack]
+			trace.TrainAcc = trace.TrainAcc[:len(trace.TrainAcc)-rolledBack]
+			trace.Completed -= rolledBack
+			g.Events = append(g.Events, GroupEvent{Iteration: iter, Device: a.Device, Kind: "quarantine-corrupt", ResumedFrom: resume})
+			iter = resume
+			continue
+		}
+
+		// An INF/NaN that survives the cross-replica check (corruption too
+		// small to flag, grown over iterations) is the framework's error
+		// message: it terminates the run, exactly as in the FI campaigns.
+		if st.NonFinite && trace.NonFiniteIter == -1 {
+			trace.NonFiniteIter = iter
+			trace.NonFiniteAt = st.NonFiniteAt
+			return nil
+		}
+
+		if te := g.E.Config().TestEvery; te > 0 && (iter+1)%te == 0 {
+			tl, ta := g.E.Evaluate(g.E.RootDevice())
+			trace.TestIters = append(trace.TestIters, iter)
+			trace.TestLoss = append(trace.TestLoss, tl)
+			trace.TestAcc = append(trace.TestAcc, ta)
+		}
+		iter++
+	}
+	return nil
+}
+
+// FirstQuarantineIter returns the iteration of the first quarantine event,
+// or -1.
+func (g *GroupGuard) FirstQuarantineIter() int {
+	for _, ev := range g.Events {
+		if ev.Kind != "rejoin" {
+			return ev.Iteration
+		}
+	}
+	return -1
+}
+
+// FirstDetectIter returns the iteration of the first cross-replica
+// detection (quarantine-corrupt) event, or -1.
+func (g *GroupGuard) FirstDetectIter() int {
+	for _, ev := range g.Events {
+		if ev.Kind == "quarantine-corrupt" {
+			return ev.Iteration
+		}
+	}
+	return -1
+}

@@ -147,7 +147,7 @@ func (g *Guarded) Run(start, end int, trace *train.Trace) error {
 		}
 
 		if te := g.E.Config().TestEvery; te > 0 && (iter+1)%te == 0 {
-			tl, ta := g.E.Evaluate(0)
+			tl, ta := g.E.Evaluate(g.E.RootDevice())
 			trace.TestIters = append(trace.TestIters, iter)
 			trace.TestLoss = append(trace.TestLoss, tl)
 			trace.TestAcc = append(trace.TestAcc, ta)

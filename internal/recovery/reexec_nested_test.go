@@ -1,0 +1,115 @@
+package recovery
+
+// Satellite coverage for the re-execution path in the configurations that
+// stress its snapshot/restore completeness: device-parallel stepping
+// (snapshots taken between concurrent iterations must restore exactly) and
+// nested BatchNorm containers (Residual / DenseBlock traversal must
+// capture every moving statistic, not just top-level layers).
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/workloads"
+)
+
+// traceBits runs iterations [0, iters) on a fresh engine of workload w and
+// returns the loss bit patterns plus the final root-replica weight bits.
+func traceBits(w *workloads.Workload, deviceParallel bool, iters int) ([]uint64, []uint32) {
+	e := w.NewEngine(rng.Seed{State: 77, Stream: 5})
+	e.SetDeviceParallel(deviceParallel)
+	losses := make([]uint64, iters)
+	for i := 0; i < iters; i++ {
+		losses[i] = math.Float64bits(e.RunIteration(i).Loss)
+	}
+	var weights []uint32
+	for _, p := range e.Replica(e.RootDevice()).Params() {
+		for _, v := range p.Value.Data {
+			weights = append(weights, math.Float32bits(v))
+		}
+	}
+	return losses, weights
+}
+
+// rollbackTraceBits runs the same schedule but interrupts it with a
+// two-iteration rollback at rollbackAt, then re-executes to the end —
+// exercising BeforeIteration/Rollback mid-run.
+func rollbackTraceBits(w *workloads.Workload, deviceParallel bool, iters, rollbackAt int) ([]uint64, []uint32) {
+	e := w.NewEngine(rng.Seed{State: 77, Stream: 5})
+	e.SetDeviceParallel(deviceParallel)
+	r := NewReExecutor(e)
+	losses := make([]uint64, iters)
+	rolledBack := false
+	for i := 0; i < iters; {
+		r.BeforeIteration(i)
+		losses[i] = math.Float64bits(e.RunIteration(i).Loss)
+		if !rolledBack && i == rollbackAt {
+			rolledBack = true
+			i = r.Rollback()
+			continue
+		}
+		i++
+	}
+	var weights []uint32
+	for _, p := range e.Replica(e.RootDevice()).Params() {
+		for _, v := range p.Value.Data {
+			weights = append(weights, math.Float32bits(v))
+		}
+	}
+	return losses, weights
+}
+
+// TestReExecutorExactReplay checks that a run interrupted by a rollback
+// reconverges bitwise with the uninterrupted run, across serial and
+// device-parallel stepping and across flat (ResNet) and nested-container
+// (DenseNet: DenseBlock-wrapped BatchNorms; ResNet: Residual-wrapped)
+// models. A missed moving statistic or optimizer tensor in
+// Snapshot/Restore would diverge the re-executed trajectory immediately.
+func TestReExecutorExactReplay(t *testing.T) {
+	const iters, rollbackAt = 8, 5
+	for _, w := range []*workloads.Workload{workloads.Resnet(), workloads.DenseNet()} {
+		for _, deviceParallel := range []bool{false, true} {
+			wantLoss, wantWeights := traceBits(w, deviceParallel, iters)
+			gotLoss, gotWeights := rollbackTraceBits(w, deviceParallel, iters, rollbackAt)
+			for i := range wantLoss {
+				if gotLoss[i] != wantLoss[i] {
+					t.Fatalf("%s deviceParallel=%v: loss@%d %#x != uninterrupted %#x",
+						w.Name, deviceParallel, i, gotLoss[i], wantLoss[i])
+				}
+			}
+			if len(gotWeights) != len(wantWeights) {
+				t.Fatalf("%s: weight count mismatch", w.Name)
+			}
+			for i := range wantWeights {
+				if gotWeights[i] != wantWeights[i] {
+					t.Fatalf("%s deviceParallel=%v: weight[%d] %#x != uninterrupted %#x",
+						w.Name, deviceParallel, i, gotWeights[i], wantWeights[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotCoversNestedBatchNorms asserts the snapshot actually reaches
+// the BatchNorms inside nested containers: DenseNet has BNs both at the
+// top level and inside a DenseBlock, and every one must appear in the
+// per-device BNStats (2 tensors each).
+func TestSnapshotCoversNestedBatchNorms(t *testing.T) {
+	w := workloads.DenseNet()
+	e := w.NewEngine(rng.Seed{State: 1, Stream: 1})
+	nBNs := len(e.Replica(0).BatchNorms())
+	if nBNs < 2 {
+		t.Fatalf("DenseNet reports %d BatchNorms; nested traversal broken", nBNs)
+	}
+	e.RunIteration(0)
+	s := e.Snapshot(1)
+	if len(s.BNStats) != w.Devices {
+		t.Fatalf("BNStats covers %d devices, want %d", len(s.BNStats), w.Devices)
+	}
+	for d, stats := range s.BNStats {
+		if len(stats) != 2*nBNs {
+			t.Fatalf("device %d: %d BN stat tensors, want %d (2 per BatchNorm)", d, len(stats), 2*nBNs)
+		}
+	}
+}

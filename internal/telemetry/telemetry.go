@@ -64,6 +64,14 @@ type CampaignStats struct {
 	journalAppends atomic.Int64
 	journalFlushes atomic.Int64
 
+	// Group-mitigation activity of device-fault campaigns (zero for FF
+	// campaigns): devices quarantined, devices hot-rejoined, iterations run
+	// with a partial group, and collective retry attempts.
+	quarantines   atomic.Int64
+	rejoins       atomic.Int64
+	degradedIters atomic.Int64
+	commRetries   atomic.Int64
+
 	workers []workerCounter
 }
 
@@ -123,6 +131,28 @@ func (s *CampaignStats) ExperimentDone(worker int, o outcome.Outcome, skipped, e
 	}
 }
 
+// GroupMitigation accumulates one experiment's group-level mitigation
+// activity: quarantines, hot-rejoins, degraded iterations, and collective
+// retries. Called once per record alongside ExperimentDone; all-zero calls
+// (every FF-campaign record) are free.
+func (s *CampaignStats) GroupMitigation(quarantines, rejoins, degradedIters, commRetries int) {
+	if s == nil {
+		return
+	}
+	if quarantines != 0 {
+		s.quarantines.Add(int64(quarantines))
+	}
+	if rejoins != 0 {
+		s.rejoins.Add(int64(rejoins))
+	}
+	if degradedIters != 0 {
+		s.degradedIters.Add(int64(degradedIters))
+	}
+	if commRetries != 0 {
+		s.commRetries.Add(int64(commRetries))
+	}
+}
+
 // JournalAppend records one record appended to the write-ahead journal.
 func (s *CampaignStats) JournalAppend() {
 	if s == nil {
@@ -178,6 +208,13 @@ type Snapshot struct {
 	// written and fsync batches issued.
 	JournalAppends int64 `json:"journal_appends"`
 	JournalFlushes int64 `json:"journal_flushes"`
+	// Quarantines / Rejoins / DegradedIters / CommRetries aggregate the
+	// group-level mitigation activity of device-fault campaigns (all zero
+	// for FF campaigns).
+	Quarantines   int64 `json:"quarantines"`
+	Rejoins       int64 `json:"rejoins"`
+	DegradedIters int64 `json:"degraded_iters"`
+	CommRetries   int64 `json:"comm_retries"`
 }
 
 // Snapshot derives the current point-in-time view.
@@ -202,6 +239,10 @@ func (s *CampaignStats) Snapshot() Snapshot {
 		SweepDetect:    s.sweepDetect.Load(),
 		JournalAppends: s.journalAppends.Load(),
 		JournalFlushes: s.journalFlushes.Load(),
+		Quarantines:    s.quarantines.Load(),
+		Rejoins:        s.rejoins.Load(),
+		DegradedIters:  s.degradedIters.Load(),
+		CommRetries:    s.commRetries.Load(),
 	}
 	for _, o := range outcome.All() {
 		if n := s.outcomes[o].Load(); n > 0 {

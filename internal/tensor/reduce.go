@@ -257,6 +257,56 @@ func (t *Tensor) AddInPlaceSum(u *Tensor) float64 {
 	return laneTotal(&l)
 }
 
+// AddInPlaceAbsMax computes t += u element-wise — the exact loop of
+// AddInPlace — and returns the abs-max of u's elements, folded into the same
+// pass under the abs-bits ordering (NaN wins). The collective layer uses it
+// to collect per-device contribution signatures for the cross-replica
+// consistency check during gradient accumulation, so the check costs no
+// extra tensor sweep.
+func (t *Tensor) AddInPlaceAbsMax(u *Tensor) float32 {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: AddInPlaceAbsMax size mismatch")
+	}
+	var m0, m1, m2, m3 uint32
+	td, ud := t.Data, u.Data
+	i := 0
+	for ; i+4 <= len(td); i += 4 {
+		v0, v1, v2, v3 := ud[i], ud[i+1], ud[i+2], ud[i+3]
+		td[i] += v0
+		td[i+1] += v1
+		td[i+2] += v2
+		td[i+3] += v3
+		if b := math.Float32bits(v0) & absBitsMask; b > m0 {
+			m0 = b
+		}
+		if b := math.Float32bits(v1) & absBitsMask; b > m1 {
+			m1 = b
+		}
+		if b := math.Float32bits(v2) & absBitsMask; b > m2 {
+			m2 = b
+		}
+		if b := math.Float32bits(v3) & absBitsMask; b > m3 {
+			m3 = b
+		}
+	}
+	for ; i < len(td); i++ {
+		td[i] += ud[i]
+		if b := math.Float32bits(ud[i]) & absBitsMask; b > m0 {
+			m0 = b
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return math.Float32frombits(m0)
+}
+
 // AbsMaxTracker accumulates a running abs-max during a write loop (the
 // fused-epilogue building block the layers use). Observe order is
 // irrelevant; Value is bitwise-equal to AbsMax over the observed elements.

@@ -7,6 +7,8 @@ package train_test
 // the FI campaigns compare runs against a fault-free reference trace.
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"testing"
 
@@ -84,6 +86,44 @@ func TestTrainingBitwiseDeterminism(t *testing.T) {
 				t.Fatalf("%s: weight[%d] = %v, serial reference = %v (not bitwise identical)",
 					v.name, i, weights[i], refWeights[i])
 			}
+		}
+	}
+}
+
+// TestCommAllReduceMatchesPrePRTrajectory pins the collective-layer
+// refactor to the engine it replaced. The constants below were captured
+// from the pre-comm-layer engine (gradient averaging as an inline loop in
+// RunIteration) on this exact workload and seed; with a fully healthy
+// group, AllReduce must reproduce that trajectory bit for bit, across both
+// serial and device-parallel stepping.
+func TestCommAllReduceMatchesPrePRTrajectory(t *testing.T) {
+	wantLoss := []uint64{
+		0x3ff4c66608226687,
+		0x3ff7ae33ab1b52fd,
+		0x3ff9b704bab9bf8e,
+		0x3ff7fe8f9afbf319,
+		0x3ff1ca4306e6ed5e,
+		0x3ff342d847287961,
+	}
+	const wantWeights = uint64(0x90b9b9dee6d7a2fd)
+
+	for _, deviceParallel := range []bool{false, true} {
+		losses, weights := resnetTrace(len(wantLoss), deviceParallel)
+		for i, l := range losses {
+			if math.Float64bits(l) != wantLoss[i] {
+				t.Fatalf("deviceParallel=%v: loss@%d = %#x, pre-PR engine produced %#x",
+					deviceParallel, i, math.Float64bits(l), wantLoss[i])
+			}
+		}
+		h := fnv.New64a()
+		var buf [4]byte
+		for _, w := range weights {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(w))
+			h.Write(buf[:])
+		}
+		if got := h.Sum64(); got != wantWeights {
+			t.Fatalf("deviceParallel=%v: weight digest %#x, pre-PR engine produced %#x",
+				deviceParallel, got, wantWeights)
 		}
 	}
 }

@@ -144,7 +144,7 @@ func (e *Engine) RunWithHook(start, end int, trace *Trace, stopOnNonFinite bool,
 			trace.InjectedElems = st.InjectedElems
 		}
 		if e.cfg.TestEvery > 0 && (iter+1)%e.cfg.TestEvery == 0 {
-			tl, ta := e.Evaluate(0)
+			tl, ta := e.Evaluate(e.RootDevice())
 			trace.TestIters = append(trace.TestIters, iter)
 			trace.TestLoss = append(trace.TestLoss, tl)
 			trace.TestAcc = append(trace.TestAcc, ta)

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/accel"
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/fault"
 	"repro/internal/nn"
@@ -91,6 +92,14 @@ type Engine struct {
 	// reused per-device result staging slice.
 	deviceParallel bool
 	devResults     []devStats
+
+	// grp is the collective communicator performing gradient averaging;
+	// gradViews caches the per-device gradient tensor views it reduces
+	// over, and lastReduce the latest collective's report (read by the
+	// cross-replica consistency check).
+	grp        *comm.Group
+	gradViews  [][]*tensor.Tensor
+	lastReduce comm.ReduceStep
 }
 
 // New creates an engine. The loader's batch size must equal
@@ -109,6 +118,14 @@ func New(cfg Config, build BuildFunc, optimizer opt.Optimizer, loader *data.Load
 		// Identical init RNG per replica → identical weights.
 		e.replicas = append(e.replicas, build(rng.New(cfg.Seed).Split(0xbead)))
 	}
+	e.grp = comm.NewGroup(cfg.Devices)
+	for d := 0; d < cfg.Devices; d++ {
+		var views []*tensor.Tensor
+		for _, p := range e.replicas[d].Params() {
+			views = append(views, p.Grad)
+		}
+		e.gradViews = append(e.gradViews, views)
+	}
 	return e
 }
 
@@ -123,6 +140,55 @@ func (e *Engine) Optimizer() opt.Optimizer { return e.opt }
 
 // Replica returns device d's model.
 func (e *Engine) Replica(d int) *nn.Sequential { return e.replicas[d] }
+
+// Group returns the collective communicator: the place to arm device
+// faults, set the failure-handling policy, and inspect group health.
+func (e *Engine) Group() *comm.Group { return e.grp }
+
+// RootDevice returns the lowest-numbered healthy device — the replica that
+// holds the authoritative model state when part of the group is
+// quarantined. With a fully healthy group this is device 0, matching the
+// pre-collective-layer engine.
+func (e *Engine) RootDevice() int { return e.grp.Root() }
+
+// LastReduce reports the most recent collective step (the input of the
+// cross-replica gradient-consistency check).
+func (e *Engine) LastReduce() *comm.ReduceStep { return &e.lastReduce }
+
+// Quarantine removes device d from the group: it stops stepping, stops
+// contributing gradients, and stops receiving broadcasts. Its gradients are
+// zeroed so stale corruption cannot leak back on rejoin.
+func (e *Engine) Quarantine(d int) {
+	e.grp.Quarantine(d)
+	e.replicas[d].ZeroGrad()
+}
+
+// Rejoin returns a quarantined device to the group by replicating state
+// from the healthy root peer — weights and the peer's normalization
+// statistics (the quarantined device's own statistics are stale or
+// corrupted) — the hot-rejoin of the mitigation path. Optimizer state
+// needs no copy: it is global, keyed by parameter name, and lives with
+// whichever replica is the reduction root. Fails if no healthy peer
+// exists.
+func (e *Engine) Rejoin(d int) error {
+	peer := e.grp.Root()
+	if peer == d || e.grp.HealthyCount() == 0 {
+		return fmt.Errorf("train: no healthy peer to rejoin device %d from", d)
+	}
+	src := e.replicas[peer]
+	dst := e.replicas[d]
+	for pi, p := range dst.Params() {
+		p.Value.CopyFrom(src.Params()[pi].Value)
+		p.Grad.Zero()
+	}
+	srcBNs := src.BatchNorms()
+	for i, bn := range dst.BatchNorms() {
+		bn.MovingMean.CopyFrom(srcBNs[i].MovingMean)
+		bn.MovingVar.CopyFrom(srcBNs[i].MovingVar)
+	}
+	e.grp.Rejoin(d)
+	return nil
+}
 
 // SetInjection arms a single fault injection; it fires on device 0 during
 // the iteration recorded in the injection. Pass nil to disarm.
@@ -155,17 +221,20 @@ func (e *Engine) SetInjections(injs []fault.Injection) {
 }
 
 // Reset returns a pooled engine to a neutral, re-armable condition between
-// experiments: it disarms all injections, detaches any forward monitor, and
-// clears per-run diagnostics. It deliberately does NOT touch weights,
-// optimizer state, or normalization statistics — follow Reset with Restore
-// to position the engine at an iteration-boundary snapshot. Campaign
-// workers (package experiment) reuse one engine per worker this way,
-// eliminating per-experiment model and dataset construction.
+// experiments: it disarms all injections and device faults, restores full
+// group health and the default collective policy, detaches any forward
+// monitor, and clears per-run diagnostics. It deliberately does NOT touch
+// weights, optimizer state, or normalization statistics — follow Reset with
+// Restore to position the engine at an iteration-boundary snapshot.
+// Campaign workers (package experiment) reuse one engine per worker this
+// way, eliminating per-experiment model and dataset construction.
 func (e *Engine) Reset() {
 	e.SetInjections(nil)
 	e.ForwardMonitor = nil
 	e.AbsMaxMonitor = nil
 	e.lastNonFinite = ""
+	e.grp.Reset()
+	e.lastReduce = comm.ReduceStep{}
 }
 
 // SetDeviceParallel selects whether RunIteration steps the devices on
@@ -212,6 +281,21 @@ type IterStats struct {
 	Injected bool
 	// InjectedElems counts the output elements the fault corrupted.
 	InjectedElems int
+	// CommRetries counts collective retry attempts this iteration
+	// (stragglers and crashes eating into the timeout budget).
+	CommRetries int
+	// DevicesFailed lists devices that exhausted the collective
+	// timeout+retry budget this iteration; under the exclusion policy the
+	// engine quarantines them before the weight broadcast.
+	DevicesFailed []int
+	// GroupHang is true when the collective aborted: the synchronous group
+	// cannot make progress and the weights were not updated.
+	GroupHang bool
+	// DeviceFaultElems counts gradient elements corrupted by armed device
+	// faults during the collective.
+	DeviceFaultElems int
+	// Degraded is true when fewer than Devices replicas contributed.
+	Degraded bool
 }
 
 // devStats collects the results of one device's forward/backward so that
@@ -362,11 +446,15 @@ func layerOutAbsMax(l nn.Layer, out *tensor.Tensor) float32 {
 
 // RunIteration executes global iteration iter: per-device forward/backward
 // (concurrently when SetDeviceParallel(true) — each device only touches its
-// own replica and RNG stream), fixed-order gradient averaging, one
-// optimizer step, and weight synchronization. Results are bitwise-identical
-// between sequential and parallel device stepping: devices are
-// independent, and the cross-device reductions below always run serially
-// in ascending device order.
+// own replica and RNG stream), gradient averaging through the collective
+// layer (comm.Group.AllReduce, fixed ascending reduction order), one
+// optimizer step on the reduction root, and weight synchronization.
+// Results are bitwise-identical between sequential and parallel device
+// stepping: devices are independent, and the cross-device reductions
+// always run serially in ascending device order. Quarantined devices are
+// skipped entirely; if the collective hangs (a device failed and the
+// policy does not exclude) the weights are left untouched and
+// stats.GroupHang is set.
 func (e *Engine) RunIteration(iter int) IterStats {
 	stats := IterStats{Iteration: iter}
 	batch := e.loader.Batch(iter)
@@ -376,13 +464,14 @@ func (e *Engine) RunIteration(iter int) IterStats {
 		exLen *= s
 	}
 
+	healthy := e.grp.Healthy()
 	if cap(e.devResults) < e.cfg.Devices {
 		e.devResults = make([]devStats, e.cfg.Devices)
 	}
 	results := e.devResults[:e.cfg.Devices]
-	if e.deviceParallel && e.cfg.Devices > 1 {
+	if e.deviceParallel && len(healthy) > 1 {
 		var wg sync.WaitGroup
-		for d := 0; d < e.cfg.Devices; d++ {
+		for _, d := range healthy {
 			wg.Add(1)
 			go func(d int) {
 				defer wg.Done()
@@ -391,7 +480,7 @@ func (e *Engine) RunIteration(iter int) IterStats {
 		}
 		wg.Wait()
 	} else {
-		for d := 0; d < e.cfg.Devices; d++ {
+		for _, d := range healthy {
 			results[d] = e.deviceStep(iter, d, batch, exLen)
 		}
 	}
@@ -400,7 +489,7 @@ func (e *Engine) RunIteration(iter int) IterStats {
 	// sequential loop produced them in).
 	var totalLoss float64
 	var totalCorrect int
-	for d := range results {
+	for _, d := range healthy {
 		r := &results[d]
 		totalLoss += r.loss
 		totalCorrect += r.correct
@@ -413,32 +502,52 @@ func (e *Engine) RunIteration(iter int) IterStats {
 			stats.NonFiniteAt = r.nonFiniteAt
 		}
 	}
+	stats.Loss = totalLoss / float64(len(healthy))
+	stats.TrainAcc = float64(totalCorrect) / float64(len(healthy)*perDev)
 
-	// Synchronous gradient averaging into replica 0.
-	base := e.replicas[0].Params()
-	inv := 1 / float32(e.cfg.Devices)
-	for pi, p := range base {
-		for d := 1; d < e.cfg.Devices; d++ {
-			p.Grad.AddInPlace(e.replicas[d].Params()[pi].Grad)
+	// Synchronous gradient averaging through the collective layer.
+	red := e.grp.AllReduce(iter, e.gradViews)
+	e.lastReduce = red
+	stats.Degraded = red.Degraded(e.cfg.Devices)
+	stats.CommRetries = red.Retries
+	stats.DeviceFaultElems = red.CorruptElems
+	if len(red.Failed) > 0 {
+		stats.DevicesFailed = append([]int(nil), red.Failed...)
+	}
+	if red.Hang {
+		// The group cannot make progress: leave weights untouched so a
+		// supervisor can decide (abort, or re-run with exclusion).
+		stats.GroupHang = true
+		for _, d := range healthy {
+			e.replicas[d].ZeroGrad()
 		}
-		p.Grad.Scale(inv)
+		e.lastNonFinite = stats.NonFiniteAt
+		return stats
+	}
+	// Devices that exhausted the timeout+retry budget are out of the
+	// group from here on (the exclusion policy's contract): they must not
+	// receive the broadcast below, or their divergent state would be
+	// mistaken for healthy on a later root switch.
+	for _, d := range red.Failed {
+		e.Quarantine(d)
 	}
 
-	e.opt.Step(base)
+	root := e.replicas[red.Root].Params()
+	e.opt.Step(root)
 
-	// Broadcast updated weights to the other replicas and clear gradients.
-	for d := 1; d < e.cfg.Devices; d++ {
+	// Broadcast updated weights to the other healthy replicas and clear
+	// gradients.
+	for _, d := range e.grp.Healthy() {
+		if d == red.Root {
+			continue
+		}
 		for pi, p := range e.replicas[d].Params() {
-			p.Value.CopyFrom(base[pi].Value)
+			p.Value.CopyFrom(root[pi].Value)
 		}
 	}
-	for d := 0; d < e.cfg.Devices; d++ {
+	for _, d := range healthy {
 		e.replicas[d].ZeroGrad()
 	}
-
-	stats.Loss = totalLoss / float64(e.cfg.Devices)
-	globalBatch := e.cfg.Devices * perDev
-	stats.TrainAcc = float64(totalCorrect) / float64(globalBatch)
 
 	if !stats.NonFinite {
 		if where := e.scanNonFinite(); where != "" {
@@ -460,7 +569,7 @@ func (e *Engine) RunIteration(iter int) IterStats {
 // contrast, surface as NaN losses within an iteration, so flagging them
 // here matches the error messages real frameworks emit.
 func (e *Engine) scanNonFinite() string {
-	for _, p := range e.replicas[0].Params() {
+	for _, p := range e.replicas[e.grp.Root()].Params() {
 		if p.Value.FirstNonFinite() != -1 {
 			return "weights:" + p.Name
 		}
@@ -543,9 +652,12 @@ type State struct {
 }
 
 // Snapshot captures the engine state after iteration iter completed.
+// Weights come from the reduction root (the authoritative replica when
+// part of the group is quarantined); BatchNorm statistics are captured per
+// device.
 func (e *Engine) Snapshot(iter int) *State {
 	s := &State{Iteration: iter, OptState: e.opt.Snapshot()}
-	for _, p := range e.replicas[0].Params() {
+	for _, p := range e.replicas[e.grp.Root()].Params() {
 		s.Params = append(s.Params, p.Value.Clone())
 	}
 	for d := 0; d < e.cfg.Devices; d++ {
