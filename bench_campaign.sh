@@ -10,7 +10,7 @@ set -eu
 cd "$(dirname "$0")"
 benchtime="${BENCHTIME:-3x}"
 
-out=$(go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked|ForkedNoPool|ForkedTelemetry|PoolOnly)$' \
+out=$(go test -run '^$' -bench 'Benchmark(Campaign(Cold|Forked|ForkedNoPool|ForkedTelemetry|PoolOnly|DedupEarlyExit)|Engine(Build|PoolReuse))$' \
 	-benchtime "$benchtime" -count 1 .)
 echo "$out"
 
@@ -18,16 +18,32 @@ metric() {
 	echo "$out" | awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" {s += $3; n++} END {if (n) printf "%.0f", s / n}'
 }
 
+# named_metric extracts a b.ReportMetric column ("<value> <unit>") from a
+# benchmark's output line.
+named_metric() {
+	echo "$out" | awk -v name="$1" -v unit="$2" \
+		'$1 ~ "^"name"(-[0-9]+)?$" {for (i = 2; i < NF; i++) if ($(i + 1) == unit) {s += $i; n++}} END {if (n) printf "%.0f", s / n}'
+}
+
 cold=$(metric BenchmarkCampaignCold)
 forked=$(metric BenchmarkCampaignForked)
 forkonly=$(metric BenchmarkCampaignForkedNoPool)
 poolonly=$(metric BenchmarkCampaignPoolOnly)
 telem=$(metric BenchmarkCampaignForkedTelemetry)
-if [ -z "$cold" ] || [ -z "$forked" ]; then
+dedup=$(metric BenchmarkCampaignDedupEarlyExit)
+build=$(metric BenchmarkEngineBuild)
+reuse=$(metric BenchmarkEnginePoolReuse)
+hits=$(named_metric BenchmarkCampaignDedupEarlyExit dedup-hits)
+exits=$(named_metric BenchmarkCampaignDedupEarlyExit early-exits)
+if [ -z "$cold" ] || [ -z "$forked" ] || [ -z "$dedup" ]; then
 	echo "bench_campaign: missing benchmark output" >&2
 	exit 1
 fi
 speedup=$(awk -v c="$cold" -v f="$forked" 'BEGIN {printf "%.3f", c / f}')
+# "Exhaustive" is the cold leg: every experiment executed in full from
+# iteration 0, no forking, no dedup, no early exit.
+speedup_dedup=$(awk -v c="$cold" -v d="$dedup" 'BEGIN {printf "%.3f", c / d}')
+speedup_dedup_forked=$(awk -v f="$forked" -v d="$dedup" 'BEGIN {printf "%.3f", f / d}')
 
 cat >BENCH_campaign.json <<EOF
 {
@@ -38,7 +54,14 @@ cat >BENCH_campaign.json <<EOF
   "forked_nopool_ns_per_op": ${forkonly:-null},
   "pool_only_ns_per_op": ${poolonly:-null},
   "forked_telemetry_ns_per_op": ${telem:-null},
-  "speedup_forked_vs_cold": $speedup
+  "dedup_early_exit_ns_per_op": $dedup,
+  "engine_build_ns": ${build:-null},
+  "engine_reuse_ns": ${reuse:-null},
+  "dedup_hits": ${hits:-0},
+  "early_exits": ${exits:-0},
+  "speedup_forked_vs_cold": $speedup,
+  "speedup_dedup_vs_exhaustive": $speedup_dedup,
+  "speedup_dedup_vs_forked": $speedup_dedup_forked
 }
 EOF
-echo "wrote BENCH_campaign.json (forked vs cold: ${speedup}x)"
+echo "wrote BENCH_campaign.json (forked vs cold: ${speedup}x, dedup+early-exit vs exhaustive: ${speedup_dedup}x)"

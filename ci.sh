@@ -66,6 +66,19 @@ wait "$pid" || true # 130 when the interrupt landed mid-run
 	-journal "$tmp/run.jsonl" -resume -json "$tmp/resumed.json" >/dev/null
 cmp "$tmp/ref.json" "$tmp/resumed.json"
 
+echo "== dedup/early-exit equivalence smoke (-race, reported tally must match exhaustive byte for byte) =="
+go build -race -o "$tmp/campaign.race" ./cmd/campaign
+"$tmp/campaign.race" -workload resnet -n 24 -iters 12 -seed 6 >"$tmp/exhaustive.txt"
+"$tmp/campaign.race" -workload resnet -n 24 -iters 12 -seed 6 \
+	-dedup -early-exit >"$tmp/fastpath.txt"
+# Compare the outcome sections (workload header through the tally); the
+# fast-path report additionally prints its equivalence counters, which the
+# exhaustive run legitimately lacks.
+sed -n '/^workload /,/unexpected-total/p' "$tmp/exhaustive.txt" >"$tmp/exhaustive.tally"
+sed -n '/^workload /,/unexpected-total/p' "$tmp/fastpath.txt" >"$tmp/fastpath.tally"
+cmp "$tmp/exhaustive.tally" "$tmp/fastpath.tally"
+grep -q "equivalence:" "$tmp/fastpath.txt" # the fast paths actually fired
+
 echo "== journal fuzz smoke (parser must not panic, repairer must converge) =="
 go test -run '^$' -fuzz 'FuzzParseJournal' -fuzztime 3s ./internal/record
 go test -run '^$' -fuzz 'FuzzRepairJournal' -fuzztime 3s ./internal/record

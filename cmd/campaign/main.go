@@ -59,6 +59,12 @@ func main() {
 		devFaults  = flag.String("device-faults", "", "run a system-level device-fault campaign instead of FF bit flips: \"all\" or a comma-separated subset of link-sdc,stuck-at,straggler,crash")
 		quarantine = flag.Bool("quarantine", false, "with -device-faults: enable the mitigation pipeline (timeout+retry exclusion, cross-replica check, quarantine + re-execution, hot-rejoin)")
 		degraded   = flag.Bool("degraded", false, "with -quarantine: keep the group degraded after a quarantine instead of attempting hot-rejoins")
+		dedup      = flag.Bool("dedup", false, "deduplicate injections with byte-identical effective corruptions: run one owner per equivalence class, adopt its record for the rest (exact; records carry adopted_from provenance)")
+		earlyExit  = flag.Bool("early-exit", false, "terminate an experiment once its state digest matches the golden run's — the remaining iterations are provably identical and are synthesized from the golden trace (exact)")
+		exitStride = flag.Int("early-exit-stride", 1, "with -early-exit: compare state digests every this many iterations after the injection")
+		convTail   = flag.Bool("converged-tail", false, "finish an experiment from the golden trace once its metrics track the reference within -converged-tol for -converged-patience iterations (approximate; records carry a converged_iter flag and the campaign fingerprint changes)")
+		convTol    = flag.Float64("converged-tol", 0, "with -converged-tail: metric tolerance (0 = default 1e-3)")
+		convPat    = flag.Int("converged-patience", 0, "with -converged-tail: consecutive in-tolerance iterations required (0 = default 5)")
 	)
 	flag.Parse()
 
@@ -74,6 +80,12 @@ func main() {
 	}
 	if *degraded && !*quarantine {
 		fatal(fmt.Errorf("-degraded requires -quarantine"))
+	}
+	if *earlyExit && *exitStride < 1 {
+		fatal(fmt.Errorf("-early-exit-stride must be >= 1"))
+	}
+	if *devFaults != "" && (*dedup || *earlyExit || *convTail) {
+		fatal(fmt.Errorf("-dedup/-early-exit/-converged-tail apply only to FF campaigns: device faults carry per-experiment random value streams and stay armed across iterations, so neither the dedup keys nor the early-exit proof hold"))
 	}
 
 	// SIGINT/SIGTERM cancel the campaign context: the worker pool drains
@@ -119,6 +131,12 @@ func main() {
 			DeviceFaultKinds:  deviceFaultKinds,
 			Quarantine:        *quarantine,
 			Degraded:          *degraded,
+			Dedup:             *dedup,
+			EarlyExit:         *earlyExit,
+			EarlyExitStride:   *exitStride,
+			ConvergedTail:     *convTail,
+			ConvergedTol:      *convTol,
+			ConvergedPatience: *convPat,
 		}
 		g := experiment.PrepareGolden(cfg)
 

@@ -79,7 +79,8 @@ func runDeviceFault(g *Golden, pooled *train.Engine, df fault.DeviceFault, cfg C
 	}
 	e.Group().Arm(df)
 
-	rec := Record{DeviceFault: df, NonFiniteIter: -1, DetectIter: -1, QuarantineIter: -1, Masked: true}
+	rec := Record{DeviceFault: df, NonFiniteIter: -1, DetectIter: -1, QuarantineIter: -1,
+		AdoptedFrom: -1, EarlyExitIter: -1, ConvergedIter: -1, Masked: true}
 	trace := train.NewTrace(w.Name)
 	copyGoldenPrefix(trace, g.ref, start)
 	if df.Iteration < g.horizon {

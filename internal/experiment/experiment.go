@@ -114,6 +114,50 @@ type Config struct {
 	// DeviceFaultKinds, when non-empty, restricts sampling to these kinds
 	// (default: all injectable kinds).
 	DeviceFaultKinds []fault.DeviceFaultKind
+	// Dedup enables campaign-scale injection dedup: every experiment's
+	// effective corruption is canonically hashed before anything runs
+	// (target tensor identity and the resolved write-op program — see
+	// dedup.go), and experiments with equal keys share one execution: the
+	// lowest-index member executes, the others adopt its record
+	// (Record.AdoptedFrom) without re-running. Adoption is byte-exact:
+	// equal keys mean identical corruption of bitwise-identical tensors,
+	// hence identical trajectories. Rejected for device-fault campaigns
+	// (their faults persist across iterations and carry per-experiment
+	// random value streams).
+	Dedup bool
+	// EarlyExit enables provable masked early-termination: after its
+	// injection iteration, each experiment compares its engine-state digest
+	// against the golden run's at EarlyExitStride cadence, and the moment
+	// the state is bitwise-identical to golden the remaining iterations are
+	// synthesized from the golden trace instead of executed
+	// (Record.EarlyExitIter). Sound because training is deterministic and a
+	// fired injection never recurs: equal state at equal iteration implies
+	// an identical tail. Disabled automatically when the golden run is
+	// non-finite; rejected for device-fault campaigns (armed device faults
+	// persist). Records and Tally stay byte-identical to exhaustive
+	// execution.
+	EarlyExit bool
+	// EarlyExitStride is the digest-comparison cadence in iterations
+	// (0 = every iteration). Coarser strides trade comparison cost for
+	// later exits; the record provenance (EarlyExitIter) changes with the
+	// stride but the outcome payload does not.
+	EarlyExitStride int
+	// ConvergedTail enables the thresholded fast-path: when an experiment's
+	// loss and accuracy stay within ConvergedTol of the golden trace for
+	// ConvergedPatience consecutive post-fault iterations without being
+	// bitwise-identical, the remaining iterations are synthesized from the
+	// golden tail and the final test point is re-evaluated on the live
+	// weights (eval-only finish). Unlike EarlyExit this is a statistical
+	// approximation: records are explicitly flagged (Record.ConvergedIter)
+	// and the campaign fingerprint changes, so such journals never mix
+	// with exact ones.
+	ConvergedTail bool
+	// ConvergedTol is the fast-path's relative metric tolerance
+	// (0 = 1e-3).
+	ConvergedTol float64
+	// ConvergedPatience is the consecutive-iteration requirement
+	// (0 = 5).
+	ConvergedPatience int
 	// Quarantine enables the mitigation path for device-fault experiments:
 	// collective timeout+retry with exclusion, the cross-replica
 	// consistency check, quarantine + two-iteration re-execution, and
@@ -160,6 +204,24 @@ type Record struct {
 	// DegradedIters counts iterations run with a partial group;
 	// CommRetries totals collective retry attempts.
 	Quarantines, Rejoins, DegradedIters, CommRetries int
+	// AdoptedFrom is the experiment index this record was adopted from by
+	// injection dedup (-1 when the experiment executed itself). Injection
+	// is always this experiment's own sampled fault; every other field is
+	// shared with the owner record byte for byte — equal dedup keys prove
+	// the trajectories identical.
+	AdoptedFrom int
+	// EarlyExitIter is the iteration the run was proven bitwise-golden
+	// again and its remaining iterations synthesized from the golden trace
+	// (-1 when it executed to its natural end). Provenance only: the
+	// synthesized fields equal what execution would have produced.
+	EarlyExitIter int
+	// ConvergedIter is the iteration the thresholded converged-tail
+	// fast-path truncated execution (-1 = none). Records with
+	// ConvergedIter >= 0 are statistical approximations of the exhaustive
+	// run, not byte-exact reproductions: their golden-copied tail metrics
+	// and live final test evaluation are within tolerance by construction,
+	// but not proven identical.
+	ConvergedIter int
 }
 
 // FaultIteration returns the iteration the experiment's fault takes effect:
@@ -191,6 +253,14 @@ type Campaign struct {
 	// is the work a cold-start campaign would have performed (modulo early
 	// INF/NaN termination, which both paths share).
 	IterationsSkipped, IterationsExecuted int64
+	// ExperimentsAdopted counts records adopted via injection dedup
+	// instead of executing; EarlyExits and ConvergedTails count executions
+	// truncated by the bitwise and thresholded fast-paths; and
+	// IterationsSynthesized counts tail iterations copied from the golden
+	// trace instead of executed by those truncations.
+	ExperimentsAdopted         int
+	EarlyExits, ConvergedTails int
+	IterationsSynthesized      int64
 	// Snapshots / SnapshotBytes / Stride describe the golden-prefix cache
 	// the campaign forked from (see Config.SnapshotStride).
 	Snapshots     int
@@ -210,11 +280,13 @@ func Run(cfg Config) *Campaign {
 // runOne executes a single FI experiment: restore the nearest golden
 // snapshot at or before the injection iteration, reconstruct the trace
 // prefix from the golden trace (the skipped iterations are
-// bitwise-identical to it), and execute only the suffix. pooled, when
-// non-nil, is the worker's reusable engine; otherwise a fresh engine is
-// built. Returns the record, the prefix length skipped, the suffix
-// iterations executed, and the number of detector checks performed.
-func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, sweepDetect bool) (Record, int, int, int) {
+// bitwise-identical to it), and execute the suffix — truncated by the
+// equivalence layer's fast-paths when cfg enables them (see earlyexit.go).
+// pooled, when non-nil, is the worker's reusable engine; otherwise a fresh
+// engine is built. Returns the record, the prefix length skipped, the
+// suffix iterations executed, the tail iterations synthesized from the
+// golden trace, and the number of detector checks performed.
+func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, cfg Config) (Record, int, int, int, int) {
 	w := g.w
 	start, snap := g.nearest(inj.Iteration)
 	var e *train.Engine
@@ -230,10 +302,18 @@ func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, sweepDetect bo
 		}
 	}
 	e.SetInjection(&inj)
-	det := detect.ForEngine(e, w.BatchSize(), w.LR, !sweepDetect)
+	det := detect.ForEngine(e, w.BatchSize(), w.LR, !cfg.SweepDetect)
 
-	rec := Record{Injection: inj, NonFiniteIter: -1, DetectIter: -1, QuarantineIter: -1, Masked: true}
+	// The fast-paths need a completed golden tail to synthesize from; a
+	// non-finite golden run cleared the schedules (see PrepareGolden).
+	earlyExit := cfg.EarlyExit && g.digests != nil
+	convergedTail := cfg.ConvergedTail && g.digests != nil
+	convRun := 0
+
+	rec := Record{Injection: inj, NonFiniteIter: -1, DetectIter: -1, QuarantineIter: -1, Masked: true,
+		AdoptedFrom: -1, EarlyExitIter: -1, ConvergedIter: -1}
 	checks := 0
+	synthesized := 0
 	trace := train.NewTrace(w.Name)
 	copyGoldenPrefix(trace, g.ref, start)
 	for iter := start; iter < g.horizon; iter++ {
@@ -271,12 +351,54 @@ func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, sweepDetect bo
 			trace.NonFiniteAt = st.NonFiniteAt
 			break // error message terminates the experiment (Sec 3.3)
 		}
+		// The fast-path checks run strictly after the iteration's full
+		// bookkeeping, and only from t+1 on (the HistAtT1/MvarAtT1
+		// measurements at t+1 must come from real execution; a fired
+		// injection can only re-join the golden trajectory after t anyway).
+		if iter <= inj.Iteration || iter >= g.horizon-1 {
+			continue
+		}
+		if earlyExit && (iter-inj.Iteration-1)%cfg.EarlyExitStride == 0 &&
+			e.StateDigest() == g.digests[iter] {
+			// Provably masked from here: the engine state is
+			// bitwise-identical to the golden run's at the same iteration
+			// boundary, the injection cannot re-fire, and everything else
+			// is a pure function of (state, iteration). Synthesize the
+			// remaining trace — including the detector's alarm schedule —
+			// from the golden run.
+			rec.EarlyExitIter = iter
+			synthesized = copyGoldenTail(trace, g, iter)
+			if rec.DetectIter == -1 {
+				rec.DetectIter = g.alarmAfter(iter)
+			}
+			break
+		}
+		if convergedTail && withinGoldenTolerance(st, g, iter, cfg.ConvergedTol) {
+			convRun++
+			if convRun >= cfg.ConvergedPatience {
+				// Statistically re-converged, not proven identical: copy
+				// the golden tail metrics, but keep the detector verdict
+				// as measured and finish with one real test evaluation of
+				// the live weights (eval-only stepping). The record is
+				// flagged via ConvergedIter.
+				rec.ConvergedIter = iter
+				synthesized = copyGoldenTail(trace, g, iter)
+				if n := len(trace.TestIters); n > 0 && trace.TestIters[n-1] > iter {
+					tl, ta := e.Evaluate(e.RootDevice())
+					trace.TestLoss[n-1] = tl
+					trace.TestAcc[n-1] = ta
+				}
+				break
+			}
+		} else {
+			convRun = 0
+		}
 	}
 	rec.Outcome = g.cls.Classify(trace, inj.Pass)
 	rec.FinalTrainAcc = trace.FinalTrainAcc(10)
 	rec.FinalTestAcc = trace.FinalTestAcc()
 	rec.NonFiniteIter = trace.NonFiniteIter
-	return rec, start, trace.Completed - start, checks
+	return rec, start, trace.Completed - start - synthesized, synthesized, checks
 }
 
 // copyGoldenPrefix reconstructs iterations [0, b) of an experiment trace
@@ -538,6 +660,10 @@ func (c *Campaign) Report(w io.Writer) {
 	if ls := c.DetectionLatencyStats(); ls.Detected > 0 {
 		fmt.Fprintf(w, "  detection latency (iters): p50 %.1f  p95 %.1f  max %d  (%d alarms)\n",
 			ls.P50, ls.P95, ls.Max, ls.Detected)
+	}
+	if c.ExperimentsAdopted > 0 || c.EarlyExits > 0 || c.ConvergedTails > 0 {
+		fmt.Fprintf(w, "  equivalence: %d adopted (dedup), %d early exits, %d converged tails, %d iters synthesized\n",
+			c.ExperimentsAdopted, c.EarlyExits, c.ConvergedTails, c.IterationsSynthesized)
 	}
 	if c.Cfg.DeviceFaults {
 		var q, rj, di, cr int

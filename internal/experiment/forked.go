@@ -27,9 +27,11 @@ import (
 	"sort"
 
 	"repro/internal/accel"
+	"repro/internal/detect"
 	"repro/internal/fault"
 	"repro/internal/outcome"
 	"repro/internal/rng"
+	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/internal/workloads"
 )
@@ -64,6 +66,24 @@ type Golden struct {
 	// only the initial snapshot is kept).
 	stride int
 	bytes  int64
+
+	// Equivalence-layer instrumentation (dedup.go / earlyexit.go).
+	//
+	// digests[i] is the golden engine-state digest after iteration i and
+	// alarms[i] whether the static-bounds detector alarms on that state;
+	// both are nil when the golden run went non-finite (experiments then
+	// stop at that iteration themselves, and no provable golden tail
+	// exists — the same fallback that disables prefix forking).
+	digests [][16]byte
+	alarms  []bool
+	// fwdShapes[l] / bwdShapes[l] / wgtShapes[l] are the device-0 tensor
+	// shapes an injection in layer l targets per pass: the layer's forward
+	// output, its input gradient (= the previous layer's output shape, or
+	// the batch shard for layer 0), and its primary weight gradient
+	// (nil for parameter-less layers, where a backward-weight injection
+	// never fires). Shapes are static across iterations, so they resolve
+	// every injection's corruption program without running anything.
+	fwdShapes, bwdShapes, wgtShapes [][]int
 }
 
 // Ref returns the golden reference trace.
@@ -138,8 +158,40 @@ func PrepareGolden(cfg Config) *Golden {
 	g.bounds = append(g.bounds, 0)
 	g.stride = resolveStride(cfg, init.Bytes(), g.maxInjectIter)
 
+	// Resolve the per-layer injection-target shapes. Weight-gradient shapes
+	// are static model structure; forward-output shapes are observed on
+	// device 0 during the first iteration through the (numerically neutral)
+	// forward monitor, and input-gradient shapes follow from them: the
+	// backward hook at layer l carries dL/d(input_l), whose shape is layer
+	// l-1's output (the batch shard for l = 0).
+	g.fwdShapes = make([][]int, g.numLayers)
+	g.bwdShapes = make([][]int, g.numLayers)
+	g.wgtShapes = make([][]int, g.numLayers)
+	for li := 0; li < g.numLayers; li++ {
+		if ps := refEngine.Replica(0).Layers[li].Layer.Params(); len(ps) > 0 {
+			g.wgtShapes[li] = append([]int(nil), ps[0].Grad.Shape...)
+		}
+	}
+	refEngine.ForwardMonitor = func(d, li int, out *tensor.Tensor) {
+		if d == 0 && g.fwdShapes[li] == nil {
+			g.fwdShapes[li] = append([]int(nil), out.Shape...)
+		}
+	}
+
+	// The equivalence layer's golden schedules: a per-iteration state
+	// digest (the masked-early-exit comparison target) and the detector's
+	// alarm verdict on that state. The detector's bounds derive from static
+	// model structure only, so one golden schedule is valid for every
+	// experiment regardless of fork point.
+	det := detect.ForEngine(refEngine, w.BatchSize(), w.LR, false)
+
 	g.ref = train.NewTrace(w.Name + "-ref")
 	refEngine.RunWithHook(0, g.horizon, g.ref, false, func(iter int) {
+		if iter == 0 {
+			refEngine.ForwardMonitor = nil
+		}
+		g.digests = append(g.digests, refEngine.StateDigest())
+		g.alarms = append(g.alarms, det.CheckEngine(refEngine) != nil)
 		b := iter + 1
 		if g.stride > 0 && b < g.maxInjectIter && b%g.stride == 0 {
 			g.snaps = append(g.snaps, refEngine.Snapshot(iter))
@@ -150,10 +202,22 @@ func PrepareGolden(cfg Config) *Golden {
 		// A non-finite golden prefix means a cold experiment would stop at
 		// that iteration before ever injecting; forking past it would skip
 		// the stop. Fall back to replay-from-0 (pooling stays exact: the
-		// initial-state restore re-executes everything).
+		// initial-state restore re-executes everything). Early exit and the
+		// converged-tail fast-path are disabled for the same reason: there
+		// is no completed golden tail to synthesize from.
 		g.snaps = g.snaps[:1]
 		g.bounds = g.bounds[:1]
 		g.stride = 0
+		g.digests = nil
+		g.alarms = nil
+	}
+	shard := append([]int{w.PerDeviceBatch}, refEngine.Loader().Batch(0).X.Shape[1:]...)
+	for li := 0; li < g.numLayers; li++ {
+		if li == 0 {
+			g.bwdShapes[li] = shard
+		} else {
+			g.bwdShapes[li] = g.fwdShapes[li-1]
+		}
 	}
 	for _, s := range g.snaps {
 		g.bytes += s.Bytes()
@@ -193,6 +257,17 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.InjectFrac <= 0 || cfg.InjectFrac > 1 {
 		cfg.InjectFrac = 0.8
+	}
+	if cfg.EarlyExit && cfg.EarlyExitStride <= 0 {
+		cfg.EarlyExitStride = 1
+	}
+	if cfg.ConvergedTail {
+		if cfg.ConvergedTol <= 0 {
+			cfg.ConvergedTol = 1e-3
+		}
+		if cfg.ConvergedPatience <= 0 {
+			cfg.ConvergedPatience = 5
+		}
 	}
 	return cfg
 }

@@ -28,7 +28,22 @@ func recordsEqual(a, b *Record) bool {
 		a.Quarantines == b.Quarantines &&
 		a.Rejoins == b.Rejoins &&
 		a.DegradedIters == b.DegradedIters &&
-		a.CommRetries == b.CommRetries
+		a.CommRetries == b.CommRetries &&
+		a.AdoptedFrom == b.AdoptedFrom &&
+		a.EarlyExitIter == b.EarlyExitIter &&
+		a.ConvergedIter == b.ConvergedIter
+}
+
+// recordsEquivalent compares only the outcome payload — everything except
+// the equivalence-layer provenance fields (AdoptedFrom, EarlyExitIter,
+// ConvergedIter), which legitimately differ between an exhaustive run and a
+// dedup/early-exit run of the same campaign.
+func recordsEquivalent(a, b *Record) bool {
+	ap, bp := *a, *b
+	ap.AdoptedFrom, bp.AdoptedFrom = -1, -1
+	ap.EarlyExitIter, bp.EarlyExitIter = -1, -1
+	ap.ConvergedIter, bp.ConvergedIter = -1, -1
+	return recordsEqual(&ap, &bp)
 }
 
 func assertCampaignsIdentical(t *testing.T, label string, want, got *Campaign) {

@@ -55,7 +55,38 @@ func (cfg Config) Fingerprint() string {
 		fmt.Fprintf(h, "|devfaults|dkinds=%v|quarantine=%t|degraded=%t",
 			cfg.DeviceFaultKinds, cfg.Quarantine, cfg.Degraded)
 	}
+	// The converged-tail fast-path produces approximate records, so it
+	// changes the fingerprint (appended only when enabled, same
+	// compatibility rationale as above). Dedup and EarlyExit do not: their
+	// records' outcome payloads are byte-identical to exhaustive execution.
+	// Their provenance fields do differ, which is why the journal header
+	// additionally binds the efficiency flags (record.Journal) — the
+	// fingerprint governs semantic identity, the header exact bytes.
+	if cfg.ConvergedTail {
+		fmt.Fprintf(h, "|convtail|tol=%g|patience=%d", cfg.ConvergedTol, cfg.ConvergedPatience)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// EfficiencyBinding renders the equivalence-layer flags that shape a
+// campaign's record bytes (adoption references, early-exit provenance,
+// converged-tail truncation) as a stable string, or "" when none are
+// enabled. The campaign journal stores it in its header so a resume under
+// different flags fails loudly instead of silently mixing records with
+// divergent provenance.
+func (cfg Config) EfficiencyBinding() string {
+	cfg = cfg.withDefaults()
+	if !cfg.Dedup && !cfg.EarlyExit && !cfg.ConvergedTail {
+		return ""
+	}
+	s := fmt.Sprintf("dedup=%t|early-exit=%t", cfg.Dedup, cfg.EarlyExit)
+	if cfg.EarlyExit {
+		s += fmt.Sprintf("|stride=%d", cfg.EarlyExitStride)
+	}
+	if cfg.ConvergedTail {
+		s += fmt.Sprintf("|convtail|tol=%g|patience=%d", cfg.ConvergedTol, cfg.ConvergedPatience)
+	}
+	return s
 }
 
 // Sink receives completed experiment records as the campaign produces
@@ -108,6 +139,13 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if cfg.DeviceFaults && (cfg.Dedup || cfg.EarlyExit || cfg.ConvergedTail) {
+		// Dedup keys describe one-shot tensor corruptions and the
+		// early-exit proof requires the fault to be inert after firing;
+		// device faults carry per-experiment random value streams and stay
+		// armed across iterations, so neither holds.
+		return nil, fmt.Errorf("experiment: dedup/early-exit/converged-tail do not apply to device-fault campaigns")
+	}
 	g := opts.Golden
 	if g == nil {
 		g = PrepareGolden(cfg)
@@ -149,11 +187,56 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 	opts.Stats.AddPrior(len(opts.Prior))
 	opts.Stats.SetSweepDetect(cfg.SweepDetect)
 
-	// Never run more workers than there are experiments left: each worker
-	// pre-builds a pooled engine, which is pure waste past that point.
+	// The dedup plan groups experiments by corruption key (dedup.go); only
+	// group owners are dispatched, and each owner's completion synthesizes
+	// its adoptees' records immediately after its own — so within one
+	// worker the journal sees the owner's line first, then its adoptees in
+	// ascending index order, deterministically.
+	var plan *dedupPlan
+	var synthd int64
+	if cfg.Dedup {
+		plan = newDedupPlan(g, injections)
+	}
+	adoptFrom := func(wk, ownerIdx int) error {
+		if plan == nil {
+			return nil
+		}
+		for _, j := range plan.adoptees[ownerIdx] {
+			if completed[j] {
+				continue
+			}
+			rec := adoptRecord(c.Records[ownerIdx], injections[j], ownerIdx)
+			c.Records[j] = rec
+			completed[j] = true
+			opts.Stats.ExperimentAdopted(wk, rec.Outcome)
+			if opts.Sink != nil {
+				if err := opts.Sink.Append(j, rec); err != nil {
+					return fmt.Errorf("experiment: journaling adopted record %d: %w", j, err)
+				}
+			}
+		}
+		return nil
+	}
+	// A resumed dedup campaign may hold an owner's record from the prior
+	// run while the interruption (or a crash between fsync batches) lost
+	// some of its adoptees; synthesize those up front, in owner order, so
+	// the merged journal is byte-identical to an uninterrupted run.
+	if plan != nil {
+		for i := range completed {
+			if completed[i] && plan.owner[i] == i {
+				if err := adoptFrom(0, i); err != nil {
+					return c, err
+				}
+			}
+		}
+	}
+
+	// Never run more workers than there are experiments left to dispatch
+	// (adoptees never dispatch): each worker pre-builds a pooled engine,
+	// which is pure waste past that point.
 	pending := 0
 	for i := range completed {
-		if !completed[i] {
+		if !completed[i] && (plan == nil || plan.owner[i] == i) {
 			pending++
 		}
 	}
@@ -188,16 +271,20 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 			}
 			for i := range idxCh {
 				var rec Record
-				var start, done, checks int
+				var start, done, synth, checks int
 				if cfg.DeviceFaults {
 					rec, start, done, checks = runDeviceFault(g, pooled, deviceFaults[i], cfg)
 				} else {
-					rec, start, done, checks = runOne(g, pooled, injections[i], cfg.SweepDetect)
+					rec, start, done, synth, checks = runOne(g, pooled, injections[i], cfg)
 				}
 				c.Records[i] = rec
 				completed[i] = true
 				atomic.AddInt64(&skipped, int64(start))
 				atomic.AddInt64(&executed, int64(done))
+				if synth > 0 {
+					atomic.AddInt64(&synthd, int64(synth))
+					opts.Stats.FastPathExit(rec.ConvergedIter >= 0, synth)
+				}
 				opts.Stats.ExperimentDone(wk, rec.Outcome, start, done, checks)
 				opts.Stats.GroupMitigation(rec.Quarantines, rec.Rejoins, rec.DegradedIters, rec.CommRetries)
 				if opts.Sink != nil {
@@ -206,11 +293,27 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 						return
 					}
 				}
+				// Adoptees ride immediately behind their owner, from the
+				// same worker: the journal's owner→adoptee line order is
+				// deterministic with a single worker, and record indexes
+				// stay disjoint across workers (each index has exactly one
+				// owner).
+				if plan != nil && len(plan.adoptees[i]) > 0 {
+					if err := adoptFrom(wk, i); err != nil {
+						failSink(err)
+						return
+					}
+				}
 			}
 		}(wk)
 	}
 feed:
 	for i := range completed {
+		// Adoptees are never dispatched — their owner's worker synthesizes
+		// them (checked before completed[i], which that worker writes).
+		if plan != nil && plan.owner[i] != i {
+			continue
+		}
 		if completed[i] {
 			continue
 		}
@@ -229,10 +332,25 @@ feed:
 	}
 	c.IterationsExecuted = executed
 	c.IterationsSkipped = skipped
+	c.IterationsSynthesized = synthd
 	for i := range c.Records {
-		if completed[i] {
-			c.Completed++
-			c.Tally.Add(c.Records[i].Outcome)
+		if !completed[i] {
+			continue
+		}
+		c.Completed++
+		rec := &c.Records[i]
+		c.Tally.Add(rec.Outcome)
+		// Equivalence-layer counters are derived from the records rather
+		// than live counters so a resumed campaign reports the same totals
+		// as an uninterrupted one. Adopted records inherit their owner's
+		// fast-path provenance, so only executions count as exits.
+		switch {
+		case rec.AdoptedFrom >= 0:
+			c.ExperimentsAdopted++
+		case rec.EarlyExitIter >= 0:
+			c.EarlyExits++
+		case rec.ConvergedIter >= 0:
+			c.ConvergedTails++
 		}
 	}
 	if sinkErr != nil {

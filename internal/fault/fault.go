@@ -14,7 +14,9 @@
 package fault
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/accel"
 	"repro/internal/numerics"
@@ -135,12 +137,45 @@ func (inj *Injection) Describe() string {
 		inj.Kind, inj.LayerIdx, inj.Pass, inj.Iteration, inj.N, inj.BitPos)
 }
 
-// Apply corrupts t according to the injection's software fault model.
-// chanAxis identifies the tensor's channel dimension for the accelerator
-// schedule (1 for activations/gradients in NCHW or [B,U], 0 for weight
-// gradients [K,...]). It returns the corruption footprint.
-func (inj *Injection) Apply(t *tensor.Tensor, chanAxis int) Result {
-	sched := accel.NewSchedule(t.Shape, chanAxis)
+// WriteOpKind distinguishes the three primitive element writes an
+// injection's software fault model is built from.
+type WriteOpKind byte
+
+// Write-op kinds. A WriteSet stores a concrete value; a WriteFlip flips one
+// bit of the target's current value; a WriteCopy stores the current value
+// of another element. Flip and copy are symbolic — their written values
+// depend on the tensor contents at apply time — which is exactly what makes
+// the op program a canonical description of the corruption independent of
+// the data: applied to bitwise-identical tensors, identical programs
+// produce bitwise-identical results.
+const (
+	WriteSet WriteOpKind = iota
+	WriteFlip
+	WriteCopy
+)
+
+// WriteOp is one element write of an injection's effective corruption.
+type WriteOp struct {
+	Kind WriteOpKind
+	// Idx is the written flat index.
+	Idx int
+	// Src is the flat index read by a WriteCopy.
+	Src int
+	// Bit is the bit position flipped by a WriteFlip.
+	Bit uint
+	// Val is the value stored by a WriteSet.
+	Val float32
+}
+
+// CorruptionOps resolves the injection's software fault model against a
+// target tensor shape into the ordered element-write program Apply
+// executes. The program is a pure function of (Injection, shape, chanAxis):
+// it fully determines the corruption without reading tensor data, so two
+// injections with equal programs at the same (pass, layer, iteration) site
+// corrupt bitwise-identical tensors identically — the equivalence relation
+// campaign-scale dedup (package experiment) hashes.
+func (inj *Injection) CorruptionOps(shape []int, chanAxis int) []WriteOp {
+	sched := accel.NewSchedule(shape, chanAxis)
 	r := rng.New(inj.Seed)
 	start := int(inj.CycleFrac * float64(sched.Cycles()))
 	if start >= sched.Cycles() {
@@ -154,39 +189,32 @@ func (inj *Injection) Apply(t *tensor.Tensor, chanAxis int) Result {
 			delta = width - 1
 		}
 	}
-
-	var res Result
-	write := func(idx int, v float32) {
-		old := t.Data[idx]
-		t.Data[idx] = v
-		res.Indices = append(res.Indices, idx)
-		res.NewValues = append(res.NewValues, v)
-		if old != v {
-			res.Masked = false
-		}
+	n := 1
+	for _, s := range shape {
+		n *= s
 	}
-	res.Masked = true
 
+	var ops []WriteOp
 	switch inj.Kind {
 	case accel.DatapathOther:
 		// FIdelity-style: a single-cycle flip of one non-upper-exponent bit
 		// of one datapath register corrupts one output element.
-		idx := r.Intn(t.Len())
+		idx := r.Intn(n)
 		bit := inj.BitPos
 		if numerics.IsUpperExponentBit(bit) {
 			bit = (bit + 3) % 29 // remap into the non-upper-exponent bits
 		}
-		write(idx, numerics.FlipBit32(t.Data[idx], bit))
+		ops = append(ops, WriteOp{Kind: WriteFlip, Idx: idx, Bit: bit})
 
 	case accel.DatapathUpperExponent:
 		// The flip lands in exponent bit 29 or 30 (Sec 4.3.1's dominant
 		// datapath contributors).
-		idx := r.Intn(t.Len())
+		idx := r.Intn(n)
 		bit := uint(29)
 		if inj.BitPos%2 == 1 {
 			bit = 30
 		}
-		write(idx, numerics.FlipBit32(t.Data[idx], bit))
+		ops = append(ops, WriteOp{Kind: WriteFlip, Idx: idx, Bit: bit})
 
 	case accel.LocalControl:
 		// A local control FF drives one datapath register; its corruption
@@ -194,27 +222,27 @@ func (inj *Injection) Apply(t *tensor.Tensor, chanAxis int) Result {
 		// unit's output takes arbitrary values for n cycles.
 		for c := start; c < start+inj.N && c < sched.Cycles(); c++ {
 			if idx, ok := sched.UnitOutputAt(c, inj.Unit); ok {
-				write(idx, accel.RandomDynamicRangeValue(r))
+				ops = append(ops, WriteOp{Kind: WriteSet, Idx: idx, Val: accel.RandomDynamicRangeValue(r)})
 			}
 		}
 
 	case accel.GlobalG1:
 		// All 16 MAC outputs take random dynamic-range values for n cycles.
 		for _, idx := range sched.OutputsInWindow(start, inj.N) {
-			write(idx, accel.RandomDynamicRangeValue(r))
+			ops = append(ops, WriteOp{Kind: WriteSet, Idx: idx, Val: accel.RandomDynamicRangeValue(r)})
 		}
 
 	case accel.GlobalG2:
 		// Valid→invalid: the window's outputs are zeroed.
 		for _, idx := range sched.OutputsInWindow(start, inj.N) {
-			write(idx, 0)
+			ops = append(ops, WriteOp{Kind: WriteSet, Idx: idx})
 		}
 
 	case accel.GlobalG3:
 		// One MAC unit produces random dynamic-range values for n cycles.
 		for c := start; c < start+inj.N && c < sched.Cycles(); c++ {
 			if idx, ok := sched.UnitOutputAt(c, inj.Unit); ok {
-				write(idx, accel.RandomDynamicRangeValue(r))
+				ops = append(ops, WriteOp{Kind: WriteSet, Idx: idx, Val: accel.RandomDynamicRangeValue(r)})
 			}
 		}
 
@@ -224,7 +252,7 @@ func (inj *Injection) Apply(t *tensor.Tensor, chanAxis int) Result {
 		// shifted width position; the correct locations retain stale buffer
 		// content (modeled as zero).
 		for c := start; c < start+inj.N && c < sched.Cycles(); c++ {
-			moveCycleOutputs(t, sched, c, delta, write)
+			ops = moveCycleOutputs(ops, sched, c, delta)
 		}
 
 	case accel.GlobalG5, accel.GlobalG6:
@@ -235,14 +263,14 @@ func (inj *Injection) Apply(t *tensor.Tensor, chanAxis int) Result {
 		// span follows the Table-1 source rule (n cycles from DRAM, one
 		// from on-chip buffers).
 		for c := start; c < start+inj.effectiveN() && c < sched.Cycles(); c++ {
-			copyFromShifted(t, sched, c, delta, write)
+			ops = copyFromShifted(ops, sched, c, delta)
 		}
 
 	case accel.GlobalG7, accel.GlobalG8:
 		// Input valid→... inputs forced to zero: the affected outputs lose
 		// all input contributions and become zero.
 		for _, idx := range sched.OutputsInWindow(start, inj.effectiveN()) {
-			write(idx, 0)
+			ops = append(ops, WriteOp{Kind: WriteSet, Idx: idx})
 		}
 
 	case accel.GlobalG9, accel.GlobalG10:
@@ -250,11 +278,62 @@ func (inj *Injection) Apply(t *tensor.Tensor, chanAxis int) Result {
 		// values of one fixed (random) width position.
 		src := r.Intn(width)
 		for c := start; c < start+inj.effectiveN() && c < sched.Cycles(); c++ {
-			copyFromFixed(t, sched, c, src, write)
+			ops = copyFromFixed(ops, sched, c, src)
 		}
 
 	default:
 		panic(fmt.Sprintf("fault: unknown FF kind %v", inj.Kind))
+	}
+	return ops
+}
+
+// AppendCorruption appends a canonical binary encoding of the injection's
+// effective corruption on a tensor of the given shape. Two injections
+// append identical bytes iff they resolve to identical write-op programs —
+// the hashing seam of campaign-scale injection dedup.
+func (inj *Injection) AppendCorruption(buf []byte, shape []int, chanAxis int) []byte {
+	for _, op := range inj.CorruptionOps(shape, chanAxis) {
+		buf = append(buf, byte(op.Kind))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(op.Idx))
+		switch op.Kind {
+		case WriteSet:
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(op.Val))
+		case WriteFlip:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(op.Bit))
+		case WriteCopy:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(op.Src))
+		}
+	}
+	return buf
+}
+
+// Apply corrupts t according to the injection's software fault model.
+// chanAxis identifies the tensor's channel dimension for the accelerator
+// schedule (1 for activations/gradients in NCHW or [B,U], 0 for weight
+// gradients [K,...]). It returns the corruption footprint.
+//
+// Apply materializes CorruptionOps sequentially, reading flips' and copies'
+// source values from the live tensor — later ops observe earlier ops'
+// writes, preserving the read-after-write semantics of the hardware model
+// (e.g. a G4 relocation zeroes an address a later cycle may copy from).
+func (inj *Injection) Apply(t *tensor.Tensor, chanAxis int) Result {
+	var res Result
+	res.Masked = true
+	for _, op := range inj.CorruptionOps(t.Shape, chanAxis) {
+		v := op.Val
+		switch op.Kind {
+		case WriteFlip:
+			v = numerics.FlipBit32(t.Data[op.Idx], op.Bit)
+		case WriteCopy:
+			v = t.Data[op.Src]
+		}
+		old := t.Data[op.Idx]
+		t.Data[op.Idx] = v
+		res.Indices = append(res.Indices, op.Idx)
+		res.NewValues = append(res.NewValues, v)
+		if old != v {
+			res.Masked = false
+		}
 	}
 	// The injection mutated t outside its producing kernel; any fused stats
 	// cached for t are now stale, so flag it for the detector's sweep
@@ -266,7 +345,7 @@ func (inj *Injection) Apply(t *tensor.Tensor, chanAxis int) Result {
 }
 
 // moveCycleOutputs implements the G4 relocation for one cycle.
-func moveCycleOutputs(t *tensor.Tensor, sched *accel.Schedule, cycle, delta int, write func(int, float32)) {
+func moveCycleOutputs(ops []WriteOp, sched *accel.Schedule, cycle, delta int) []WriteOp {
 	width := sched.Width()
 	pos := cycle % width
 	wrong := (pos + delta) % width
@@ -279,15 +358,16 @@ func moveCycleOutputs(t *tensor.Tensor, sched *accel.Schedule, cycle, delta int,
 	for ch := lo; ch < hi; ch++ {
 		srcIdx := sched.IndexOf(ch, pos)
 		dstIdx := sched.IndexOf(ch, wrong)
-		v := t.Data[srcIdx]
-		write(dstIdx, v)
-		write(srcIdx, 0) // stale buffer content at the abandoned address
+		ops = append(ops,
+			WriteOp{Kind: WriteCopy, Idx: dstIdx, Src: srcIdx},
+			WriteOp{Kind: WriteSet, Idx: srcIdx}) // stale buffer content at the abandoned address
 	}
+	return ops
 }
 
 // copyFromShifted overwrites one cycle's outputs with the values of a
 // width-shifted position (G5/G6).
-func copyFromShifted(t *tensor.Tensor, sched *accel.Schedule, cycle, delta int, write func(int, float32)) {
+func copyFromShifted(ops []WriteOp, sched *accel.Schedule, cycle, delta int) []WriteOp {
 	width := sched.Width()
 	pos := cycle % width
 	src := (pos + delta) % width
@@ -298,13 +378,14 @@ func copyFromShifted(t *tensor.Tensor, sched *accel.Schedule, cycle, delta int, 
 		hi = sched.Channels()
 	}
 	for ch := lo; ch < hi; ch++ {
-		write(sched.IndexOf(ch, pos), t.Data[sched.IndexOf(ch, src)])
+		ops = append(ops, WriteOp{Kind: WriteCopy, Idx: sched.IndexOf(ch, pos), Src: sched.IndexOf(ch, src)})
 	}
+	return ops
 }
 
 // copyFromFixed overwrites one cycle's outputs with a fixed source
 // position's values (G9/G10).
-func copyFromFixed(t *tensor.Tensor, sched *accel.Schedule, cycle, src int, write func(int, float32)) {
+func copyFromFixed(ops []WriteOp, sched *accel.Schedule, cycle, src int) []WriteOp {
 	width := sched.Width()
 	pos := cycle % width
 	group := cycle / width
@@ -314,8 +395,9 @@ func copyFromFixed(t *tensor.Tensor, sched *accel.Schedule, cycle, src int, writ
 		hi = sched.Channels()
 	}
 	for ch := lo; ch < hi; ch++ {
-		write(sched.IndexOf(ch, pos), t.Data[sched.IndexOf(ch, src)])
+		ops = append(ops, WriteOp{Kind: WriteCopy, Idx: sched.IndexOf(ch, pos), Src: sched.IndexOf(ch, src)})
 	}
+	return ops
 }
 
 // ExpandIntermittent models an intermittent hardware failure — the class

@@ -49,8 +49,11 @@ const (
 	// fields (device_fault, quarantine_iter, mitigation counters); v1 lines
 	// would decode with a zero QuarantineIter where the live record uses -1,
 	// silently breaking the byte-identical resume contract, so they are
-	// rejected at the schema gate instead.
-	journalRecordSchema = "campaign-record-v2"
+	// rejected at the schema gate instead. v3 added the equivalence-layer
+	// provenance (adopted_from, early_exit_iter, converged_iter), which has
+	// the same zero-vs-(-1) decoding hazard — v2 journals are rejected with
+	// a dedicated message below.
+	journalRecordSchema = "campaign-record-v3"
 	// defaultFlushEvery is the fsync batch size: the journal makes work
 	// durable every this many appended records (and on Flush/Close).
 	defaultFlushEvery = 16
@@ -71,6 +74,13 @@ type journalHeader struct {
 	// config hash so mixing the two campaign flavors fails with a specific
 	// message rather than an opaque fingerprint mismatch.
 	DeviceFaults string `json:"device_faults,omitempty"`
+	// Efficiency binds the equivalence-layer flags (dedup, early exit,
+	// converged tail — experiment.Config.EfficiencyBinding, "" when all
+	// off). Dedup and early exit don't change a record's outcome payload,
+	// but they do change its provenance bytes (adopted_from /
+	// early_exit_iter), so resuming under different flags would break the
+	// journal's byte-identity contract; it is rejected here instead.
+	Efficiency string `json:"efficiency,omitempty"`
 }
 
 // journalLine is one completed experiment.
@@ -143,6 +153,7 @@ func headerFor(cfg experiment.Config, goldenDigest string) journalHeader {
 		h.DeviceFaults = fmt.Sprintf("kinds=%v quarantine=%t degraded=%t",
 			cfg.DeviceFaultKinds, cfg.Quarantine, cfg.Degraded)
 	}
+	h.Efficiency = cfg.EfficiencyBinding()
 	return h
 }
 
@@ -221,6 +232,10 @@ func parseJournal(path string, raw []byte, want journalHeader) (map[int]experime
 			path, got.Format, got.Version, want.Format, want.Version)
 	}
 	if got.RecordSchema != want.RecordSchema {
+		if got.RecordSchema == "campaign-record-v2" {
+			return nil, fmt.Errorf("record: journal %s uses record schema campaign-record-v2, this binary writes %s — v3 added the equivalence-layer provenance fields (adopted_from, early_exit_iter, converged_iter), and v2 lines would decode them as 0 where the live record uses -1, silently corrupting the byte-identical resume contract; re-run the campaign from scratch",
+				path, want.RecordSchema)
+		}
 		return nil, fmt.Errorf("record: journal %s uses record schema %q, this binary uses %q — the record layout changed between releases; re-run the campaign from scratch",
 			path, got.RecordSchema, want.RecordSchema)
 	}
@@ -231,6 +246,10 @@ func parseJournal(path string, raw []byte, want journalHeader) (map[int]experime
 	if got.DeviceFaults != want.DeviceFaults {
 		return nil, fmt.Errorf("record: journal %s was written for a campaign with device-fault settings %q, but this run uses %q — FF and device-fault campaigns (and different mitigation settings) sample different fault populations and cannot share a journal; point -journal at the matching file or start a new one",
 			path, got.DeviceFaults, want.DeviceFaults)
+	}
+	if got.Efficiency != want.Efficiency {
+		return nil, fmt.Errorf("record: journal %s was written with efficiency settings %q, but this run uses %q — dedup/early-exit/converged-tail change the records' provenance bytes, so a journal cannot be continued under different flags; resume with the original flags or start a new journal",
+			path, got.Efficiency, want.Efficiency)
 	}
 	if got.ConfigHash != want.ConfigHash {
 		return nil, fmt.Errorf("record: journal %s config fingerprint %s does not match this campaign's %s — a semantic parameter (horizon, injection window, bias, workload shape) differs; resume with the original parameters or start a new journal",
@@ -387,6 +406,9 @@ func EncodeCampaignRecord(r *experiment.Record) CampaignRecordJSON {
 		Rejoins:        r.Rejoins,
 		DegradedIters:  r.DegradedIters,
 		CommRetries:    r.CommRetries,
+		AdoptedFrom:    r.AdoptedFrom,
+		EarlyExitIter:  r.EarlyExitIter,
+		ConvergedIter:  r.ConvergedIter,
 	}
 }
 
@@ -429,6 +451,9 @@ func DecodeCampaignRecord(j CampaignRecordJSON) (experiment.Record, error) {
 		Rejoins:        j.Rejoins,
 		DegradedIters:  j.DegradedIters,
 		CommRetries:    j.CommRetries,
+		AdoptedFrom:    j.AdoptedFrom,
+		EarlyExitIter:  j.EarlyExitIter,
+		ConvergedIter:  j.ConvergedIter,
 	}
 	if j.DeviceFault != nil {
 		df, err := DecodeDeviceFault(*j.DeviceFault)

@@ -44,7 +44,10 @@ func journalRecordsEqual(a, b *experiment.Record) bool {
 		a.Quarantines == b.Quarantines &&
 		a.Rejoins == b.Rejoins &&
 		a.DegradedIters == b.DegradedIters &&
-		a.CommRetries == b.CommRetries
+		a.CommRetries == b.CommRetries &&
+		a.AdoptedFrom == b.AdoptedFrom &&
+		a.EarlyExitIter == b.EarlyExitIter &&
+		a.ConvergedIter == b.ConvergedIter
 }
 
 // interruptingSink journals every record and cancels the campaign after

@@ -394,6 +394,13 @@ type CampaignRecordJSON struct {
 	Rejoins        int              `json:"rejoins,omitempty"`
 	DegradedIters  int              `json:"degraded_iters,omitempty"`
 	CommRetries    int              `json:"comm_retries,omitempty"`
+	// Equivalence-layer provenance (schema v3). Like quarantine_iter these
+	// are always encoded with -1 as the "did not happen" value, so the
+	// round trip stays exact whether or not the campaign ran with
+	// -dedup/-early-exit/-converged-tail.
+	AdoptedFrom   int `json:"adopted_from"`
+	EarlyExitIter int `json:"early_exit_iter"`
+	ConvergedIter int `json:"converged_iter"`
 }
 
 // CampaignJSON is the serializable form of a campaign summary.
@@ -424,15 +431,16 @@ func WriteCampaignJSON(w io.Writer, c *experiment.Campaign) error {
 // WriteCampaignCSV writes one row per experiment for spreadsheet analysis.
 func WriteCampaignCSV(w io.Writer, c *experiment.Campaign) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "kind,layer,pass,iteration,n,outcome,final_train_acc,final_test_acc,non_finite_iter,hist_at_t,hist_at_t1,mvar_at_t,mvar_at_t1,detect_iter,injected_elems,masked")
+	fmt.Fprintln(bw, "kind,layer,pass,iteration,n,outcome,final_train_acc,final_test_acc,non_finite_iter,hist_at_t,hist_at_t1,mvar_at_t,mvar_at_t1,detect_iter,injected_elems,masked,adopted_from,early_exit_iter,converged_iter")
 	for i := range c.Records {
 		r := &c.Records[i]
-		fmt.Fprintf(bw, "%s,%d,%s,%d,%d,%s,%.6g,%.6g,%d,%.6g,%.6g,%.6g,%.6g,%d,%d,%v\n",
+		fmt.Fprintf(bw, "%s,%d,%s,%d,%d,%s,%.6g,%.6g,%d,%.6g,%.6g,%.6g,%.6g,%d,%d,%v,%d,%d,%d\n",
 			kindToName[r.Injection.Kind], r.Injection.LayerIdx,
 			passToName[r.Injection.Pass], r.Injection.Iteration, r.Injection.N,
 			r.Outcome, r.FinalTrainAcc, r.FinalTestAcc, r.NonFiniteIter,
 			r.HistAtT, r.HistAtT1, r.MvarAtT, r.MvarAtT1,
-			r.DetectIter, r.InjectedElems, r.Masked)
+			r.DetectIter, r.InjectedElems, r.Masked,
+			r.AdoptedFrom, r.EarlyExitIter, r.ConvergedIter)
 	}
 	return bw.Flush()
 }

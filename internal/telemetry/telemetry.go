@@ -64,6 +64,15 @@ type CampaignStats struct {
 	journalAppends atomic.Int64
 	journalFlushes atomic.Int64
 
+	// Equivalence-layer activity (zero when dedup / early exit / the
+	// converged-tail fast-path are off): records adopted from a dedup
+	// owner, executions truncated by the bitwise and thresholded
+	// fast-paths, and golden-tail iterations synthesized instead of run.
+	adopted          atomic.Int64
+	earlyExits       atomic.Int64
+	convergedTails   atomic.Int64
+	itersSynthesized atomic.Int64
+
 	// Group-mitigation activity of device-fault campaigns (zero for FF
 	// campaigns): devices quarantined, devices hot-rejoined, iterations run
 	// with a partial group, and collective retry attempts.
@@ -129,6 +138,34 @@ func (s *CampaignStats) ExperimentDone(worker int, o outcome.Outcome, skipped, e
 	if worker >= 0 && worker < len(s.workers) {
 		s.workers[worker].n.Add(1)
 	}
+}
+
+// ExperimentAdopted records one experiment resolved by injection dedup:
+// its record was adopted from an equal-corruption owner instead of
+// executing. Counts toward progress and the outcome tally like any other
+// completion, plus the adoption counter.
+func (s *CampaignStats) ExperimentAdopted(worker int, o outcome.Outcome) {
+	if s == nil {
+		return
+	}
+	s.adopted.Add(1)
+	s.ExperimentDone(worker, o, 0, 0, 0)
+}
+
+// FastPathExit records one execution truncated by the equivalence layer:
+// bitwise early exit (converged=false) or the thresholded converged-tail
+// fast-path (converged=true), with the number of golden-tail iterations
+// synthesized instead of executed.
+func (s *CampaignStats) FastPathExit(converged bool, synthesized int) {
+	if s == nil {
+		return
+	}
+	if converged {
+		s.convergedTails.Add(1)
+	} else {
+		s.earlyExits.Add(1)
+	}
+	s.itersSynthesized.Add(int64(synthesized))
 }
 
 // GroupMitigation accumulates one experiment's group-level mitigation
@@ -215,6 +252,14 @@ type Snapshot struct {
 	Rejoins       int64 `json:"rejoins"`
 	DegradedIters int64 `json:"degraded_iters"`
 	CommRetries   int64 `json:"comm_retries"`
+	// DedupAdopted / EarlyExits / ConvergedTails / ItersSynthesized
+	// aggregate the equivalence layer's savings: records adopted from a
+	// dedup owner, executions truncated by the bitwise and thresholded
+	// fast-paths, and golden-tail iterations synthesized instead of run.
+	DedupAdopted     int64 `json:"dedup_adopted"`
+	EarlyExits       int64 `json:"early_exits"`
+	ConvergedTails   int64 `json:"converged_tails"`
+	ItersSynthesized int64 `json:"iters_synthesized"`
 }
 
 // Snapshot derives the current point-in-time view.
@@ -243,6 +288,11 @@ func (s *CampaignStats) Snapshot() Snapshot {
 		Rejoins:        s.rejoins.Load(),
 		DegradedIters:  s.degradedIters.Load(),
 		CommRetries:    s.commRetries.Load(),
+
+		DedupAdopted:     s.adopted.Load(),
+		EarlyExits:       s.earlyExits.Load(),
+		ConvergedTails:   s.convergedTails.Load(),
+		ItersSynthesized: s.itersSynthesized.Load(),
 	}
 	for _, o := range outcome.All() {
 		if n := s.outcomes[o].Load(); n > 0 {

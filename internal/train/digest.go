@@ -1,0 +1,64 @@
+package train
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// StateDigest returns a 128-bit FNV-1a digest of the engine's
+// evolution-relevant state at an iteration boundary: the root replica's
+// weights, the optimizer history tensors (sorted by parameter name), and
+// every device's normalization moving statistics — exactly the state a
+// Snapshot captures, without the copies.
+//
+// At an iteration boundary this state determines the rest of training bit
+// for bit: the weight broadcast has equalized the replicas, gradients are
+// zeroed, the optimizer step counter equals the iteration count, and data
+// order plus all randomness are pure functions of (seed, iteration,
+// device). Two engines on the same workload/seed with equal digests at the
+// same iteration therefore produce identical trajectories from there on —
+// the masked-early-exit proof obligation of package experiment, up to the
+// 2^-128 collision probability of the hash.
+//
+// The scratch buffer is reused across calls; StateDigest is not safe for
+// concurrent use on one engine (campaign workers own their engines).
+func (e *Engine) StateDigest() [16]byte {
+	buf := e.digestBuf[:0]
+	f32s := func(xs []float32) {
+		for _, x := range xs {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+		}
+	}
+	for _, p := range e.replicas[e.grp.Root()].Params() {
+		f32s(p.Value.Data)
+	}
+	if hist := e.opt.History(); hist != nil {
+		if len(e.digestNames) != len(hist) {
+			e.digestNames = e.digestNames[:0]
+			for name := range hist {
+				e.digestNames = append(e.digestNames, name)
+			}
+			sort.Strings(e.digestNames)
+		}
+		for _, name := range e.digestNames {
+			for _, t := range hist[name] {
+				f32s(t.Data)
+			}
+		}
+	}
+	for d := 0; d < e.cfg.Devices; d++ {
+		for _, bn := range e.replicas[d].BatchNorms() {
+			f32s(bn.MovingMean.Data)
+			f32s(bn.MovingVar.Data)
+		}
+	}
+	e.digestBuf = buf
+
+	h := fnv.New128a()
+	h.Write(buf)
+	var out [16]byte
+	h.Sum(out[:0])
+	return out
+}

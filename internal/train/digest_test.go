@@ -1,0 +1,53 @@
+package train_test
+
+// StateDigest is the masked-early-exit primitive: equal digests at the same
+// iteration must mean equal evolution-relevant state, and any state the
+// digest claims to cover must actually perturb it.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestStateDigest(t *testing.T) {
+	for name, w := range forkCases() {
+		t.Run(name, func(t *testing.T) {
+			seed := rng.Seed{State: 11, Stream: 77}
+			a := w.NewEngine(seed)
+			b := w.NewEngine(seed)
+			if a.StateDigest() != b.StateDigest() {
+				t.Fatal("identically constructed engines disagree at iteration 0")
+			}
+			prev := a.StateDigest()
+			for i := 0; i < 4; i++ {
+				a.RunIteration(i)
+				b.RunIteration(i)
+				d := a.StateDigest()
+				if d != b.StateDigest() {
+					t.Fatalf("lockstep engines diverge after iteration %d", i)
+				}
+				if d == prev {
+					t.Fatalf("digest unchanged by iteration %d — state not covered", i)
+				}
+				prev = d
+			}
+			// Restore repositions digest-covered state exactly.
+			snap := a.Snapshot(3)
+			a.RunIteration(4)
+			if a.StateDigest() == prev {
+				t.Fatal("digest unchanged by iteration 4")
+			}
+			a.Restore(snap)
+			if a.StateDigest() != prev {
+				t.Fatal("Restore did not return the digest to the snapshot state")
+			}
+			// A single perturbed weight must flip the digest.
+			p := a.Replica(0).Params()[0]
+			p.Value.Data[0] += 1
+			if a.StateDigest() == prev {
+				t.Fatal("digest blind to a weight perturbation")
+			}
+		})
+	}
+}

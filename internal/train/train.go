@@ -93,6 +93,11 @@ type Engine struct {
 	deviceParallel bool
 	devResults     []devStats
 
+	// digestBuf / digestNames are StateDigest's reused serialization
+	// scratch and sorted optimizer-history key cache.
+	digestBuf   []byte
+	digestNames []string
+
 	// grp is the collective communicator performing gradient averaging;
 	// gradViews caches the per-device gradient tensor views it reduces
 	// over, and lastReduce the latest collective's report (read by the
