@@ -1,0 +1,55 @@
+#!/bin/sh
+# Runs the kernel-layer benchmarks (persistent worker pool vs per-call
+# goroutine fan-out, panel-packed bf16 GEMM vs scalar re-rounding, and the
+# full mixed-precision training step with both on vs both off — see
+# kernel_bench_test.go) and emits BENCH_kernel.json so the raw kernel-speed
+# trajectory is tracked across PRs.
+#
+# Usage: ./bench_kernel.sh            # BENCHTIME=50x by default
+#        BENCHTIME=200x ./bench_kernel.sh
+set -eu
+
+cd "$(dirname "$0")"
+benchtime="${BENCHTIME:-50x}"
+
+out=$(go test -run '^$' -bench 'BenchmarkKernel_(GEMMPool|GEMMSpawn|GEMMMixedPacked|GEMMMixedScalar|TrainStepMixed|TrainStepMixedBaseline)$' \
+	-benchtime "$benchtime" -count 1 .)
+echo "$out"
+
+metric() {
+	echo "$out" | awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" {s += $3; n++} END {if (n) printf "%.0f", s / n}'
+}
+
+pool=$(metric BenchmarkKernel_GEMMPool)
+spawn=$(metric BenchmarkKernel_GEMMSpawn)
+packed=$(metric BenchmarkKernel_GEMMMixedPacked)
+scalar=$(metric BenchmarkKernel_GEMMMixedScalar)
+step=$(metric BenchmarkKernel_TrainStepMixed)
+stepbase=$(metric BenchmarkKernel_TrainStepMixedBaseline)
+if [ -z "$pool" ] || [ -z "$packed" ] || [ -z "$step" ] || [ -z "$stepbase" ]; then
+	echo "bench_kernel: missing benchmark output" >&2
+	exit 1
+fi
+speedup_pool=$(awk -v s="$spawn" -v p="$pool" 'BEGIN {printf "%.3f", s / p}')
+speedup_packed=$(awk -v s="$scalar" -v p="$packed" 'BEGIN {printf "%.3f", s / p}')
+# The headline number: full bf16 training step with pool+packing (the
+# defaults) against the previous main behavior (spawn dispatch, per-row
+# re-rounding). Acceptance floor is 1.2x.
+speedup_step=$(awk -v b="$stepbase" -v s="$step" 'BEGIN {printf "%.3f", b / s}')
+
+cat >BENCH_kernel.json <<EOF
+{
+  "benchmark": "kernel",
+  "benchtime": "$benchtime",
+  "gemm_pool_ns_per_op": $pool,
+  "gemm_spawn_ns_per_op": ${spawn:-null},
+  "gemm_mixed_packed_ns_per_op": $packed,
+  "gemm_mixed_scalar_ns_per_op": ${scalar:-null},
+  "trainstep_mixed_ns_per_op": $step,
+  "trainstep_mixed_baseline_ns_per_op": $stepbase,
+  "speedup_pool_vs_spawn": $speedup_pool,
+  "speedup_packed_vs_scalar": $speedup_packed,
+  "speedup_trainstep_vs_baseline": $speedup_step
+}
+EOF
+echo "wrote BENCH_kernel.json (trainstep pool+packed vs baseline: ${speedup_step}x, packed GEMM: ${speedup_packed}x, pool dispatch: ${speedup_pool}x)"

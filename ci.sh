@@ -45,6 +45,9 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/tensor ./internal/nn ./internal/train
 
+echo "== kernel-pool leak guard (tensor TestMain fails the package if ClosePool leaves workers) =="
+go test -count 1 -run 'TestPoolCloseNoLeak' ./internal/tensor
+
 echo "== fused-mitigation equivalence under -race (epilogue stats == sweeps, alarm for alarm) =="
 go test -race ./internal/detect ./internal/baseline
 
@@ -108,6 +111,9 @@ cmp "$tmp/dfref.json" "$tmp/dfresumed.json"
 
 echo "== campaign bench smoke (-benchtime=1x) =="
 go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked|ForkedTelemetry)$' -benchtime 1x .
+
+echo "== kernel bench smoke (-benchtime=1x) =="
+go test -run '^$' -bench 'BenchmarkKernel_(GEMMPool|GEMMMixedPacked|TrainStepMixed)$' -benchtime 1x .
 
 echo "== overhead bench smoke (-benchtime=1x) =="
 go test -run '^$' -bench 'BenchmarkOverhead(Plain|DetectCheck(Fused|Sweep)|ABFT(Fused|Sweep))$' -benchtime 1x .

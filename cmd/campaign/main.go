@@ -65,6 +65,7 @@ func main() {
 		convTail   = flag.Bool("converged-tail", false, "finish an experiment from the golden trace once its metrics track the reference within -converged-tol for -converged-patience iterations (approximate; records carry a converged_iter flag and the campaign fingerprint changes)")
 		convTol    = flag.Float64("converged-tol", 0, "with -converged-tail: metric tolerance (0 = default 1e-3)")
 		convPat    = flag.Int("converged-patience", 0, "with -converged-tail: consecutive in-tolerance iterations required (0 = default 5)")
+		scrubWS    = flag.Bool("scrub-workspaces", false, "NaN-poison pooled engines' kernel scratch buffers between experiments (exact; debugging invariant check for scratch-state leaks)")
 	)
 	flag.Parse()
 
@@ -127,6 +128,7 @@ func main() {
 			SnapshotStride:    *stride,
 			SnapshotMemBudget: *snapMem,
 			NoPool:            !*pool,
+			ScrubWorkspaces:   *scrubWS,
 			DeviceFaults:      *devFaults != "",
 			DeviceFaultKinds:  deviceFaultKinds,
 			Quarantine:        *quarantine,

@@ -69,6 +69,9 @@ func runDeviceFault(g *Golden, pooled *train.Engine, df fault.DeviceFault, cfg C
 	if pooled != nil {
 		e = pooled
 		e.Reset() // also restores the collective: all-healthy, disarmed, default policy
+		if cfg.ScrubWorkspaces {
+			e.ScrubWorkspaces()
+		}
 		e.Restore(snap)
 	} else {
 		e = w.NewEngine(rng.Seed{State: uint64(g.seed), Stream: 77}) // same seed as reference

@@ -98,6 +98,14 @@ type Config struct {
 	// one Reset+Restore'd engine per worker. Pooling is also byte-exact;
 	// the knob exists for benchmarking and debugging.
 	NoPool bool
+	// ScrubWorkspaces poisons every pooled engine's cached kernel scratch
+	// buffers with NaNs between experiments (train.Engine.ScrubWorkspaces).
+	// Workspace contents are undefined between kernel calls, so scrubbing
+	// is byte-exact — Records and Tally are identical either way
+	// (TestScrubWorkspacesEquivalence). The knob exists as a debugging
+	// invariant check: if a kernel ever starts depending on stale scratch
+	// state leaking across experiments, scrubbed campaigns diverge loudly.
+	ScrubWorkspaces bool
 	// SweepDetect makes the per-experiment bounds detector re-scan the
 	// optimizer history and moving-variance tensors every check instead of
 	// consuming the stats the fused kernel epilogues cache during the step
@@ -293,6 +301,9 @@ func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, cfg Config) (R
 	if pooled != nil {
 		e = pooled
 		e.Reset()
+		if cfg.ScrubWorkspaces {
+			e.ScrubWorkspaces()
+		}
 		e.Restore(snap)
 	} else {
 		e = w.NewEngine(rng.Seed{State: uint64(g.seed), Stream: 77}) // same seed as reference

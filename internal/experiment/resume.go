@@ -36,7 +36,8 @@ import (
 // determine its Records bit for bit: workload identity and length,
 // experiment count, seed, horizon, injection window, and bias settings.
 // Execution knobs (Workers, SnapshotStride, SnapshotMemBudget, NoPool,
-// DeviceParallel, SweepDetect) are deliberately excluded — campaigns are
+// ScrubWorkspaces, DeviceParallel, SweepDetect) are deliberately excluded
+// — campaigns are
 // byte-identical across all of them, so a journal written under one
 // execution configuration may be resumed under any other.
 func (cfg Config) Fingerprint() string {

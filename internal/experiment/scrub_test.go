@@ -1,0 +1,33 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestScrubWorkspacesEquivalence is the campaign-level scrub invariant:
+// NaN-poisoning pooled engines' kernel scratch between experiments must not
+// change a single record — workspace contents are undefined between kernel
+// calls, so no kernel may carry state across an engine reuse. A divergence
+// here means scratch state is leaking across experiments.
+func TestScrubWorkspacesEquivalence(t *testing.T) {
+	w, err := workloads.ByName("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iters = 16
+	base := Config{Workload: w, Experiments: 6, Seed: 11, HorizonMult: 1.5,
+		SnapshotStride: 4, Workers: 2}
+
+	plain := Run(base)
+
+	scrubbed := base
+	scrubbed.ScrubWorkspaces = true
+	got := Run(scrubbed)
+
+	assertCampaignsIdentical(t, "scrub-workspaces", plain, got)
+	if base.Fingerprint() != scrubbed.Fingerprint() {
+		t.Fatal("ScrubWorkspaces changed the campaign fingerprint — it is an execution knob and must be excluded")
+	}
+}

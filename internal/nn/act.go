@@ -17,7 +17,7 @@ type ReLU struct {
 }
 
 // NewReLU creates a ReLU layer.
-func NewReLU() *ReLU { return &ReLU{} }
+func NewReLU() *ReLU { return allocReLU() }
 
 // Name implements Layer.
 func (r *ReLU) Name() string { return "relu" }

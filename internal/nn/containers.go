@@ -13,6 +13,8 @@ import (
 type Residual struct {
 	name   string
 	Branch []Layer
+
+	params []*Param
 }
 
 // NewResidual creates a residual block around the given branch layers.
@@ -23,13 +25,20 @@ func NewResidual(name string, branch ...Layer) *Residual {
 // Name implements Layer.
 func (r *Residual) Name() string { return r.name }
 
-// Params implements Layer.
+// Params implements Layer. The branch is fixed at construction, so the
+// flattened slice is cached; read-only for callers.
 func (r *Residual) Params() []*Param {
-	var ps []*Param
-	for _, l := range r.Branch {
-		ps = append(ps, l.Params()...)
+	if r.params == nil {
+		total := 0
+		for _, l := range r.Branch {
+			total += len(l.Params())
+		}
+		r.params = carveParams(total)
+		for _, l := range r.Branch {
+			r.params = append(r.params, l.Params()...)
+		}
 	}
-	return ps
+	return r.params
 }
 
 // Forward implements Layer.
@@ -71,6 +80,8 @@ type DenseBlock struct {
 	Stages [][]Layer // each stage is a small pipeline
 
 	lastChannels []int // input channel count at each stage, for backward split
+
+	params []*Param
 }
 
 // NewDenseBlock builds a dense block from stages.
@@ -81,15 +92,24 @@ func NewDenseBlock(name string, stages ...[]Layer) *DenseBlock {
 // Name implements Layer.
 func (d *DenseBlock) Name() string { return d.name }
 
-// Params implements Layer.
+// Params implements Layer. Stages are fixed at construction, so the
+// flattened slice is cached; read-only for callers.
 func (d *DenseBlock) Params() []*Param {
-	var ps []*Param
-	for _, stage := range d.Stages {
-		for _, l := range stage {
-			ps = append(ps, l.Params()...)
+	if d.params == nil {
+		total := 0
+		for _, stage := range d.Stages {
+			for _, l := range stage {
+				total += len(l.Params())
+			}
+		}
+		d.params = carveParams(total)
+		for _, stage := range d.Stages {
+			for _, l := range stage {
+				d.params = append(d.params, l.Params()...)
+			}
 		}
 	}
-	return ps
+	return d.params
 }
 
 // Sublayers implements Container.

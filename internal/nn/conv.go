@@ -27,6 +27,7 @@ type Conv2D struct {
 	// twice.
 	ws       *tensor.Workspace
 	lastCols *tensor.Tensor
+	params   []*Param
 
 	outSum     float64
 	outAbsMax  float32
@@ -37,13 +38,14 @@ type Conv2D struct {
 
 // NewConv2D creates a convolution layer with He-normal initialization.
 func NewConv2D(name string, inC, outC, kh, kw, stride, padding int, r *rng.Rand, mixed bool) *Conv2D {
-	c := &Conv2D{
+	c := allocConv2D()
+	*c = Conv2D{
 		name:  name,
-		K:     newParam(name+"/kernel", outC, inC, kh, kw),
-		B:     newParam(name+"/bias", outC),
+		K:     newParam(paramName(name, "kernel"), outC, inC, kh, kw),
+		B:     newParam(paramName(name, "bias"), outC),
 		Par:   tensor.ConvParams{KH: kh, KW: kw, Stride: stride, Padding: padding},
 		Mixed: mixed,
-		ws:    tensor.NewWorkspace(),
+		ws:    newWorkspace(),
 	}
 	fanIn := float64(inC * kh * kw)
 	c.K.Value.FillNormal(r, 0, math.Sqrt(2.0/fanIn))
@@ -53,8 +55,17 @@ func NewConv2D(name string, inC, outC, kh, kw, stride, padding int, r *rng.Rand,
 // Name implements Layer.
 func (c *Conv2D) Name() string { return c.name }
 
-// Params implements Layer.
-func (c *Conv2D) Params() []*Param { return []*Param{c.K, c.B} }
+// Params implements Layer. The slice is cached (Param pointers are stable
+// after construction) and must be treated as read-only.
+func (c *Conv2D) Params() []*Param {
+	if c.params == nil {
+		c.params = append(carveParams(2), c.K, c.B)
+	}
+	return c.params
+}
+
+// Workspace implements WorkspaceHolder.
+func (c *Conv2D) Workspace() *tensor.Workspace { return c.ws }
 
 // FanIn returns the number of partial sums per output neuron (N_l in
 // Algorithm 1): InC*KH*KW.

@@ -21,8 +21,9 @@ type Dense struct {
 	// Backward (where no Context is available).
 	CollectStats bool
 
-	lastX *tensor.Tensor
-	ws    *tensor.Workspace
+	lastX  *tensor.Tensor
+	ws     *tensor.Workspace
+	params []*Param
 
 	outSum     float64
 	outAbsMax  float32
@@ -34,8 +35,9 @@ type Dense struct {
 // NewDense creates a Dense layer with He-normal initialized weights
 // (Property 1 of Algorithm 1 assumes variance-preserving initialization).
 func NewDense(name string, in, out int, r *rng.Rand, mixed bool) *Dense {
-	d := &Dense{name: name, W: newParam(name+"/kernel", in, out), B: newParam(name+"/bias", out),
-		Mixed: mixed, ws: tensor.NewWorkspace()}
+	d := allocDense()
+	*d = Dense{name: name, W: newParam(paramName(name, "kernel"), in, out), B: newParam(paramName(name, "bias"), out),
+		Mixed: mixed, ws: newWorkspace()}
 	std := math.Sqrt(2.0 / float64(in))
 	d.W.Value.FillNormal(r, 0, std)
 	return d
@@ -44,8 +46,17 @@ func NewDense(name string, in, out int, r *rng.Rand, mixed bool) *Dense {
 // Name implements Layer.
 func (d *Dense) Name() string { return d.name }
 
-// Params implements Layer.
-func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+// Params implements Layer. The slice is cached (Param pointers are stable
+// after construction) and must be treated as read-only.
+func (d *Dense) Params() []*Param {
+	if d.params == nil {
+		d.params = append(carveParams(2), d.W, d.B)
+	}
+	return d.params
+}
+
+// Workspace implements WorkspaceHolder.
+func (d *Dense) Workspace() *tensor.Workspace { return d.ws }
 
 // FanIn returns the number of partial sums accumulated per output neuron
 // (N_l in Algorithm 1).

@@ -14,6 +14,7 @@ package nn
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -57,8 +58,31 @@ type Param struct {
 }
 
 func newParam(name string, shape ...int) *Param {
-	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+	p := allocParam()
+	*p = Param{Name: name, Value: arenaNew(shape...), Grad: arenaNew(shape...)}
+	return p
 }
+
+// paramName builds the canonical "<layer>/<role>" parameter name. The
+// result is interned: pooled campaign workers rebuild structurally
+// identical engines over and over, and after the first build every name
+// lookup hits the cache instead of re-allocating the concatenation.
+func paramName(base, role string) string {
+	k := [2]string{base, role}
+	nameMu.Lock()
+	s, ok := nameCache[k]
+	if !ok {
+		s = base + "/" + role
+		nameCache[k] = s
+	}
+	nameMu.Unlock()
+	return s
+}
+
+var (
+	nameMu    sync.Mutex
+	nameCache = make(map[[2]string]string)
+)
 
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
@@ -98,9 +122,11 @@ type NamedLayer struct {
 
 // NewSequential builds a model from layers in order.
 func NewSequential(layers ...Layer) *Sequential {
-	s := &Sequential{}
+	s := &Sequential{Layers: make([]*NamedLayer, 0, len(layers))}
 	for _, l := range layers {
-		s.Layers = append(s.Layers, &NamedLayer{Layer: l})
+		nl := allocNamed()
+		nl.Layer = l
+		s.Layers = append(s.Layers, nl)
 	}
 	return s
 }
@@ -113,6 +139,13 @@ func (s *Sequential) Len() int { return len(s.Layers) }
 // be treated as read-only.
 func (s *Sequential) Params() []*Param {
 	if s.params == nil {
+		// Per-layer Params results are themselves cached, so the counting
+		// pass costs nothing extra and the flat slice is sized exactly.
+		total := 0
+		for _, nl := range s.Layers {
+			total += len(nl.Layer.Params())
+		}
+		s.params = carveParams(total)
 		for _, nl := range s.Layers {
 			s.params = append(s.params, nl.Layer.Params()...)
 		}
@@ -193,6 +226,26 @@ func (s *Sequential) VisitLayers(fn func(Layer)) {
 	for _, nl := range s.Layers {
 		VisitLayers(nl.Layer, fn)
 	}
+}
+
+// WorkspaceHolder is implemented by layers that own a kernel scratch
+// Workspace (Dense, Conv2D). Traversals that manage workspace lifetimes —
+// the campaign scrub invariant — reach them through it.
+type WorkspaceHolder interface {
+	Workspace() *tensor.Workspace
+}
+
+// ScrubWorkspaces poisons the cached scratch buffers of every layer in the
+// model (including nested ones) with NaNs. Scratch contents are undefined
+// between kernel calls, so scrubbing must never change results; it exists
+// to prove that invariant — a stale-read bug surfaces as a loud NaN instead
+// of a silent wrong number. See tensor.Workspace.Reset.
+func (s *Sequential) ScrubWorkspaces() {
+	s.VisitLayers(func(l Layer) {
+		if wh, ok := l.(WorkspaceHolder); ok {
+			wh.Workspace().Reset()
+		}
+	})
 }
 
 // BatchNorms returns every BatchNorm of the model in deterministic

@@ -49,18 +49,21 @@ type BatchNorm struct {
 
 	outAbsMax  float32
 	outStatsOK bool
+
+	params []*Param
 }
 
 // NewBatchNorm creates a BatchNorm layer over c channels.
 func NewBatchNorm(name string, c int, momentum float32) *BatchNorm {
-	bn := &BatchNorm{
+	bn := allocBatchNorm()
+	*bn = BatchNorm{
 		name:       name,
-		Gamma:      newParam(name+"/gamma", c),
-		Beta:       newParam(name+"/beta", c),
+		Gamma:      newParam(paramName(name, "gamma"), c),
+		Beta:       newParam(paramName(name, "beta"), c),
 		Momentum:   momentum,
 		Eps:        1e-5,
-		MovingMean: tensor.New(c),
-		MovingVar:  tensor.New(c),
+		MovingMean: arenaNew(c),
+		MovingVar:  arenaNew(c),
 	}
 	bn.Gamma.Value.Fill(1)
 	bn.MovingVar.Fill(1)
@@ -70,8 +73,14 @@ func NewBatchNorm(name string, c int, momentum float32) *BatchNorm {
 // Name implements Layer.
 func (bn *BatchNorm) Name() string { return bn.name }
 
-// Params implements Layer.
-func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+// Params implements Layer. The slice is cached (Param pointers are stable
+// after construction) and must be treated as read-only.
+func (bn *BatchNorm) Params() []*Param {
+	if bn.params == nil {
+		bn.params = append(carveParams(2), bn.Gamma, bn.Beta)
+	}
+	return bn.params
+}
 
 // Channels returns the number of normalized channels.
 func (bn *BatchNorm) Channels() int { return bn.Gamma.Value.Len() }
@@ -231,11 +240,13 @@ type LayerNorm struct {
 	lastXhat   *tensor.Tensor
 	lastInvStd []float32
 	lastShape  []int
+
+	params []*Param
 }
 
 // NewLayerNorm creates a LayerNorm over feature dimension d.
 func NewLayerNorm(name string, d int) *LayerNorm {
-	ln := &LayerNorm{name: name, Gamma: newParam(name+"/gamma", d), Beta: newParam(name+"/beta", d), Eps: 1e-5}
+	ln := &LayerNorm{name: name, Gamma: newParam(paramName(name, "gamma"), d), Beta: newParam(paramName(name, "beta"), d), Eps: 1e-5}
 	ln.Gamma.Value.Fill(1)
 	return ln
 }
@@ -243,8 +254,13 @@ func NewLayerNorm(name string, d int) *LayerNorm {
 // Name implements Layer.
 func (ln *LayerNorm) Name() string { return ln.name }
 
-// Params implements Layer.
-func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gamma, ln.Beta} }
+// Params implements Layer. Cached; read-only for callers.
+func (ln *LayerNorm) Params() []*Param {
+	if ln.params == nil {
+		ln.params = []*Param{ln.Gamma, ln.Beta}
+	}
+	return ln.params
+}
 
 // Forward implements Layer.
 func (ln *LayerNorm) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {

@@ -104,6 +104,8 @@ type Attention struct {
 	// per-batch caches (slices indexed by batch element)
 	lastX         *tensor.Tensor
 	q, k, v, a, o []*tensor.Tensor
+
+	params []*Param
 }
 
 // NewAttention creates a self-attention layer with model dim d and head dim
@@ -111,10 +113,10 @@ type Attention struct {
 func NewAttention(name string, d, dk int, r *rng.Rand, mixed bool) *Attention {
 	at := &Attention{
 		name:  name,
-		Wq:    newParam(name+"/wq", d, dk),
-		Wk:    newParam(name+"/wk", d, dk),
-		Wv:    newParam(name+"/wv", d, dk),
-		Wo:    newParam(name+"/wo", dk, d),
+		Wq:    newParam(paramName(name, "wq"), d, dk),
+		Wk:    newParam(paramName(name, "wk"), d, dk),
+		Wv:    newParam(paramName(name, "wv"), d, dk),
+		Wo:    newParam(paramName(name, "wo"), dk, d),
 		Dk:    dk,
 		Mixed: mixed,
 	}
@@ -129,8 +131,13 @@ func NewAttention(name string, d, dk int, r *rng.Rand, mixed bool) *Attention {
 // Name implements Layer.
 func (at *Attention) Name() string { return at.name }
 
-// Params implements Layer.
-func (at *Attention) Params() []*Param { return []*Param{at.Wq, at.Wk, at.Wv, at.Wo} }
+// Params implements Layer. Cached; read-only for callers.
+func (at *Attention) Params() []*Param {
+	if at.params == nil {
+		at.params = []*Param{at.Wq, at.Wk, at.Wv, at.Wo}
+	}
+	return at.params
+}
 
 func (at *Attention) matmul(a, b *tensor.Tensor) *tensor.Tensor {
 	if at.Mixed {
@@ -286,15 +293,17 @@ type LSTM struct {
 	hs    []*tensor.Tensor // hidden after step t [B, H] (hs[0] is h_{-1}=0)
 	cs    []*tensor.Tensor // cell after step t
 	gates []*tensor.Tensor // activated gates at step t [B, 4H]
+
+	params []*Param
 }
 
 // NewLSTM creates an LSTM layer with input dim d and hidden size h.
 func NewLSTM(name string, d, h int, r *rng.Rand, mixed bool) *LSTM {
 	l := &LSTM{
 		name:  name,
-		Wx:    newParam(name+"/wx", d, 4*h),
-		Wh:    newParam(name+"/wh", h, 4*h),
-		Bias:  newParam(name+"/bias", 4*h),
+		Wx:    newParam(paramName(name, "wx"), d, 4*h),
+		Wh:    newParam(paramName(name, "wh"), h, 4*h),
+		Bias:  newParam(paramName(name, "bias"), 4*h),
 		H:     h,
 		Mixed: mixed,
 	}
@@ -310,8 +319,13 @@ func NewLSTM(name string, d, h int, r *rng.Rand, mixed bool) *LSTM {
 // Name implements Layer.
 func (l *LSTM) Name() string { return l.name }
 
-// Params implements Layer.
-func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.Bias} }
+// Params implements Layer. Cached; read-only for callers.
+func (l *LSTM) Params() []*Param {
+	if l.params == nil {
+		l.params = []*Param{l.Wx, l.Wh, l.Bias}
+	}
+	return l.params
+}
 
 func sigmoid(x float32) float32 {
 	return float32(1 / (1 + math.Exp(-float64(x))))

@@ -18,23 +18,38 @@ func channelDims(op string, t *Tensor) (n, c, spatial int) {
 	return
 }
 
+// addBiasRows adds bias[r mod c] to channel rows [lo,hi) of the flattened
+// [n*c, spatial] view. Rows are disjoint (one writer per element), so
+// chunked execution over any worker count is bitwise-identical to serial.
+func addBiasRows(td, biasd []float32, c, spatial, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		bv := biasd[r%c]
+		row := td[r*spatial : (r+1)*spatial]
+		for i := range row {
+			row[i] += bv
+		}
+	}
+}
+
 // AddBiasNCHW adds bias[c] to every element of channel c: the shared
 // per-channel bias addition of Conv2D ([N,K,OH,OW] + [K]) and Dense
-// ([B, Out] + [Out]).
+// ([B, Out] + [Out]). Large tensors run the channel rows on the kernel
+// worker pool; each element has exactly one writer, so the result is
+// bitwise-identical for any worker count.
 func AddBiasNCHW(t, bias *Tensor) {
 	n, c, spatial := channelDims("AddBiasNCHW", t)
 	if bias.Len() != c {
 		panic(fmt.Sprintf("tensor: AddBiasNCHW bias has %d elements for %d channels", bias.Len(), c))
 	}
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			bv := bias.Data[ch]
-			row := t.Data[(b*c+ch)*spatial : (b*c+ch+1)*spatial]
-			for i := range row {
-				row[i] += bv
-			}
-		}
+	rows := n * c
+	if w := matmulWorkers; w > 1 && rows > 1 && rows*spatial >= absMaxParallelMin {
+		td, biasd := t.Data, bias.Data
+		parallelInto(w, rows, func(_, lo, hi int) {
+			addBiasRows(td, biasd, c, spatial, lo, hi)
+		})
+		return
 	}
+	addBiasRows(t.Data, bias.Data, c, spatial, 0, rows)
 }
 
 // AddBiasNCHWEp performs AddBiasNCHW and additionally returns the lane-rule

@@ -24,7 +24,6 @@ package tensor
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/numerics"
 )
@@ -79,35 +78,6 @@ func runParallel(m, flops int) bool {
 	return w > 1 && flops >= parallelFlops
 }
 
-// parallelRows partitions [0, m) into at most matmulWorkers contiguous
-// chunks and runs body on each. Row ranges are disjoint, so each output
-// element is produced by exactly one goroutine; chunk boundaries never
-// change accumulation order within a row.
-func parallelRows(m, flops int, body func(lo, hi int)) {
-	w := matmulWorkers
-	if w > m {
-		w = m
-	}
-	if w <= 1 || flops < parallelFlops {
-		body(0, m)
-		return
-	}
-	chunk := (m + w - 1) / w
-	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
 // MatMul computes C = A × B for 2-D tensors A [m,k] and B [k,n] in FP32.
 func MatMul(a, b *Tensor) *Tensor {
 	m, _, n := checkMatMul(a, b)
@@ -133,6 +103,20 @@ func MatMulInto(dst, a, b *Tensor, mixed bool) *Tensor {
 	zero(dst.Data)
 	dst.ClearDirty()
 	ad, bd, cd := a.Data, b.Data, dst.Data
+	if usePacked(mixed, m) {
+		rp := getPackBuf(len(bd))
+		rb := *rp
+		roundPanelBF16(rb, bd)
+		if !runParallel(m, m*k*n) {
+			gemmNNPacked(cd, ad, rb, k, n, 0, m)
+		} else {
+			parallelRows(m, m*k*n, func(lo, hi int) {
+				gemmNNPacked(cd, ad, rb, k, n, lo, hi)
+			})
+		}
+		putPackBuf(rp)
+		return dst
+	}
 	if !runParallel(m, m*k*n) {
 		gemmNN(cd, ad, bd, k, n, mixed, 0, m)
 		return dst
@@ -159,6 +143,20 @@ func MatMulTAInto(dst, a, b *Tensor, mixed bool) *Tensor {
 	zero(dst.Data)
 	dst.ClearDirty()
 	ad, bd, cd := a.Data, b.Data, dst.Data
+	if usePacked(mixed, m) {
+		rp := getPackBuf(len(bd))
+		rb := *rp
+		roundPanelBF16(rb, bd)
+		if !runParallel(m, m*k*n) {
+			gemmTAPacked(cd, ad, rb, k, m, n, 0, m)
+		} else {
+			parallelRows(m, m*k*n, func(lo, hi int) {
+				gemmTAPacked(cd, ad, rb, k, m, n, lo, hi)
+			})
+		}
+		putPackBuf(rp)
+		return dst
+	}
 	if !runParallel(m, m*k*n) {
 		gemmTA(cd, ad, bd, k, m, n, mixed, 0, m)
 		return dst
@@ -182,6 +180,20 @@ func MatMulTBInto(dst, a, b *Tensor, mixed bool) *Tensor {
 	checkDst("MatMulTBInto", dst, m, n)
 	dst.ClearDirty()
 	ad, bd, cd := a.Data, b.Data, dst.Data
+	if usePacked(mixed, m) {
+		rp := getPackBuf(len(bd))
+		rb := *rp
+		roundPanelBF16(rb, bd)
+		if !runParallel(m, m*k*n) {
+			gemmTBPacked(cd, ad, rb, k, n, 0, m)
+		} else {
+			parallelRows(m, m*k*n, func(lo, hi int) {
+				gemmTBPacked(cd, ad, rb, k, n, lo, hi)
+			})
+		}
+		putPackBuf(rp)
+		return dst
+	}
 	if !runParallel(m, m*k*n) {
 		gemmTB(cd, ad, bd, k, n, mixed, 0, m)
 		return dst

@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/numerics"
+	"repro/internal/rng"
+)
+
+// withPacking toggles the bf16 panel-packing path for the duration of the
+// returned restore func.
+func withPacking(on bool) (restore func()) {
+	old := SetPackBF16(on)
+	return func() { SetPackBF16(old) }
+}
+
+func TestRoundPanelBF16MatchesScalar(t *testing.T) {
+	r := rng.NewFromInt(41)
+	src := New(513) // odd length: exercises the tail of any unrolling
+	src.FillNormal(r, 0, 10)
+	src.Data[0] = 0
+	src.Data[7] = float32(math.Inf(1))
+	src.Data[8] = float32(math.NaN())
+	dst := make([]float32, src.Len())
+	roundPanelBF16(dst, src.Data)
+	for i, v := range src.Data {
+		want := numerics.RoundBF16(v)
+		if math.Float32bits(dst[i]) != math.Float32bits(want) {
+			t.Fatalf("element %d: packed %v (%#x), scalar %v (%#x)",
+				i, dst[i], math.Float32bits(dst[i]), want, math.Float32bits(want))
+		}
+	}
+}
+
+// TestPackedGEMMBitwise is the tentpole equivalence test: the panel-packed
+// bf16 kernels must be bitwise-identical to the scalar re-rounding kernels
+// for every transpose variant, across odd M/N/K remainders (exercising the
+// 4-wide register-block tails) and worker counts, serial and parallel.
+func TestPackedGEMMBitwise(t *testing.T) {
+	r := rng.NewFromInt(42)
+	dims := []int{1, 2, 3, 5, 8, 9, 17}
+	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, m := range dims {
+		for _, k := range dims {
+			for _, n := range dims {
+				a := randMat(r, m, k)
+				b := randMat(r, k, n)
+				at := Transpose2D(a)
+				bt := Transpose2D(b)
+
+				restore := withPacking(false)
+				oldW := SetWorkers(1)
+				wantNN := MatMulMixed(a, b)
+				wantTA := MatMulTA(at, b, true)
+				wantTB := MatMulTB(a, bt, true)
+				SetWorkers(oldW)
+				restore()
+
+				for _, w := range workerSet {
+					restoreP := withPacking(true)
+					restoreW := forceParallel(w)
+					gotNN := MatMulMixed(a, b)
+					gotTA := MatMulTA(at, b, true)
+					gotTB := MatMulTB(a, bt, true)
+					restoreW()
+					restoreP()
+
+					tag := fmt.Sprintf("m=%d k=%d n=%d w=%d", m, k, n, w)
+					bitsEqual(t, "packed NN "+tag, gotNN, wantNN)
+					bitsEqual(t, "packed TA "+tag, gotTA, wantTA)
+					bitsEqual(t, "packed TB "+tag, gotTB, wantTB)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedGEMMFloat32Unaffected: packing only applies to mixed-precision
+// GEMMs; the float32 path must be byte-for-byte untouched by the toggle.
+func TestPackedGEMMFloat32Unaffected(t *testing.T) {
+	r := rng.NewFromInt(43)
+	a, b := randMat(r, 9, 7), randMat(r, 7, 5)
+	restore := withPacking(false)
+	want := MatMul(a, b)
+	restore()
+	restore = withPacking(true)
+	got := MatMul(a, b)
+	restore()
+	bitsEqual(t, "float32 MatMul under packing toggle", got, want)
+}
+
+// TestPackedEpBitwise checks the fused-epilogue GEMM: results AND fused
+// reductions (Sum, ColSums, AbsMax) must match the unpacked path bit for
+// bit, serial and parallel.
+func TestPackedEpBitwise(t *testing.T) {
+	r := rng.NewFromInt(44)
+	a := randMat(r, 33, 17) // >epRowBlock rows exercises the blocked loop
+	b := randMat(r, 17, 9)
+
+	run := func(packed bool, w int) (*Tensor, *Epilogue) {
+		restoreP := withPacking(packed)
+		restoreW := forceParallel(w)
+		defer restoreW()
+		defer restoreP()
+		ep := &Epilogue{WantSum: true, WantColSums: true, WantAbsMax: true}
+		dst := New(33, 9)
+		MatMulIntoEp(dst, a, b, true, ep)
+		return dst, ep
+	}
+
+	wantDst, wantEp := run(false, 1)
+	for _, packed := range []bool{false, true} {
+		for _, w := range []int{1, 4} {
+			gotDst, gotEp := run(packed, w)
+			tag := fmt.Sprintf("packed=%v w=%d", packed, w)
+			bitsEqual(t, "Ep dst "+tag, gotDst, wantDst)
+			if gotEp.Sum != wantEp.Sum {
+				t.Fatalf("%s: Sum %v != %v", tag, gotEp.Sum, wantEp.Sum)
+			}
+			if math.Float32bits(gotEp.AbsMax) != math.Float32bits(wantEp.AbsMax) {
+				t.Fatalf("%s: AbsMax %v != %v", tag, gotEp.AbsMax, wantEp.AbsMax)
+			}
+			for j := range wantEp.ColSums {
+				if gotEp.ColSums[j] != wantEp.ColSums[j] {
+					t.Fatalf("%s: ColSums[%d] %v != %v", tag, j, gotEp.ColSums[j], wantEp.ColSums[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPackedZeroSkipRule pins the skip rule on the packed path: the zero
+// test reads the RAW A element, before bf16 rounding — a subnormal that
+// rounds to zero in bf16 must still contribute (rounded) products, exactly
+// as the scalar kernels do.
+func TestPackedZeroSkipRule(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 3)
+	// Tiny but nonzero raw values; RoundBF16 may flush them, but the skip
+	// decision must not depend on that.
+	a.Data = []float32{1e-40, 2, 0, 3}
+	for i := range b.Data {
+		b.Data[i] = float32(i + 1)
+	}
+	restore := withPacking(false)
+	want := MatMulMixed(a, b)
+	restore()
+	restore = withPacking(true)
+	got := MatMulMixed(a, b)
+	restore()
+	bitsEqual(t, "raw-zero skip", got, want)
+}

@@ -1,0 +1,190 @@
+// Persistent kernel worker pool.
+//
+// Every parallel kernel in this package (matmul row chunks, AbsMax/MinMax
+// reductions, bias rows) used to spawn fresh goroutines per call. At
+// campaign scale — thousands of GEMMs per training iteration across many
+// concurrent experiment workers — the per-call spawn cost and scheduler
+// churn add up. The pool here replaces the fan-out with long-lived workers,
+// one buffered run queue per worker (a channel receive doubles as the
+// park/unpark doorbell), and a round-robin dispatch cursor so consecutive
+// dispatches land on distinct workers.
+//
+// Scheduling is irrelevant to results: chunks own disjoint index ranges
+// (the determinism contract in matmul.go), so which worker executes a chunk
+// — or whether the legacy spawn path runs it — cannot change a single bit
+// of any kernel's output. SetUsePool keeps the legacy per-call spawn
+// reachable for benchmarking the difference (bench_kernel.sh).
+//
+// Nesting is impossible by construction: chunk bodies are leaf kernel loops
+// (gemm*, absMaxBits, addBiasRows) that never dispatch again, so a worker
+// never blocks on the pool it serves and the pool cannot deadlock.
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// kernelTask is one contiguous chunk of a parallel kernel dispatch.
+type kernelTask struct {
+	body           func(worker, lo, hi int)
+	worker, lo, hi int
+	wg             *sync.WaitGroup
+}
+
+// poolQueueDepth is each worker's run-queue capacity. Dispatchers block on
+// a full queue, which only happens when many engines hammer few workers —
+// at that point the cores are saturated and blocking is the right behavior.
+const poolQueueDepth = 8
+
+var (
+	poolMu     sync.Mutex   // guards pool growth and shutdown
+	poolQs     atomic.Value // of []chan kernelTask: per-worker run queues
+	poolQuit   chan struct{}
+	poolCursor atomic.Uint32 // round-robin dispatch cursor
+	poolSpawn  atomic.Bool   // true = legacy per-call goroutine fan-out
+)
+
+// SetUsePool selects between the persistent worker pool (true, the default)
+// and the legacy per-call goroutine fan-out, returning the previous
+// setting. Results are bitwise-identical either way; the knob exists for
+// benchmarking and as a fallback.
+func SetUsePool(on bool) bool {
+	old := !poolSpawn.Load()
+	poolSpawn.Store(!on)
+	return old
+}
+
+// UsePool reports whether parallel kernels dispatch to the persistent pool.
+func UsePool() bool { return !poolSpawn.Load() }
+
+// PoolWorkers returns the number of live pool workers (0 until the first
+// pooled dispatch, and again after ClosePool).
+func PoolWorkers() int {
+	qs, _ := poolQs.Load().([]chan kernelTask)
+	return len(qs)
+}
+
+// poolQueues returns the worker run queues, lazily growing the pool to at
+// least n workers. Workers are spawned on demand and live until ClosePool.
+func poolQueues(n int) []chan kernelTask {
+	if qs, _ := poolQs.Load().([]chan kernelTask); len(qs) >= n {
+		return qs
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	qs, _ := poolQs.Load().([]chan kernelTask)
+	if len(qs) >= n {
+		return qs
+	}
+	if poolQuit == nil {
+		poolQuit = make(chan struct{})
+	}
+	grown := make([]chan kernelTask, len(qs), n)
+	copy(grown, qs)
+	for len(grown) < n {
+		q := make(chan kernelTask, poolQueueDepth)
+		go poolWorker(q, poolQuit)
+		grown = append(grown, q)
+	}
+	poolQs.Store(grown)
+	return grown
+}
+
+// poolWorker parks on its run queue (the doorbell) and executes chunks
+// until the pool is closed.
+func poolWorker(q chan kernelTask, quit chan struct{}) {
+	for {
+		select {
+		case t := <-q:
+			t.body(t.worker, t.lo, t.hi)
+			t.wg.Done()
+		case <-quit:
+			return
+		}
+	}
+}
+
+// ClosePool terminates every pool worker for leak-free shutdown. It must
+// not be called while kernels are running (same contract as SetWorkers).
+// The pool transparently respawns on the next pooled dispatch, so closing
+// is safe at any quiescent point — tests do it to assert goroutine counts
+// return to baseline.
+func ClosePool() {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if poolQuit != nil {
+		close(poolQuit)
+		poolQuit = nil
+	}
+	poolQs.Store([]chan kernelTask(nil))
+}
+
+// parallelInto partitions [0, n) into up to w contiguous chunks and runs
+// body(worker, lo, hi) on each, where worker is the chunk index (callers
+// use it to write per-chunk partials without sharing). Chunk 0 runs on the
+// calling goroutine; the rest run on pool workers (or, in legacy mode, on
+// fresh goroutines). Returns the number of chunks used, which may be less
+// than w. Every chunk is non-empty, ranges are disjoint and ascending in
+// the chunk index, so kernels with disjoint writes stay single-writer and
+// per-chunk reductions are exact partials.
+func parallelInto(w, n int, body func(worker, lo, hi int)) int {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		body(0, 0, n)
+		return 1
+	}
+	chunk := (n + w - 1) / w
+	nc := (n + chunk - 1) / chunk
+	if nc <= 1 {
+		body(0, 0, n)
+		return 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(nc - 1)
+	if poolSpawn.Load() {
+		for c := 1; c < nc; c++ {
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			go func(c, lo, hi int) {
+				defer wg.Done()
+				body(c, lo, hi)
+			}(c, lo, hi)
+		}
+	} else {
+		qs := poolQueues(nc - 1)
+		base := poolCursor.Add(uint32(nc - 1))
+		for c := 1; c < nc; c++ {
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			qs[(base+uint32(c))%uint32(len(qs))] <- kernelTask{body: body, worker: c, lo: lo, hi: hi, wg: &wg}
+		}
+	}
+	body(0, 0, chunk)
+	wg.Wait()
+	return nc
+}
+
+// parallelRows partitions [0, m) into at most matmulWorkers contiguous
+// chunks and runs body on each through the persistent pool. Row ranges are
+// disjoint, so each output element is produced by exactly one goroutine;
+// chunk boundaries never change accumulation order within a row.
+func parallelRows(m, flops int, body func(lo, hi int)) {
+	w := matmulWorkers
+	if w > m {
+		w = m
+	}
+	if w <= 1 || flops < parallelFlops {
+		body(0, m)
+		return
+	}
+	parallelInto(w, m, func(_, lo, hi int) { body(lo, hi) })
+}

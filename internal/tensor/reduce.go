@@ -29,7 +29,6 @@ package tensor
 
 import (
 	"math"
-	"sync"
 )
 
 // absBitsMask clears the IEEE-754 sign bit, mapping v to |v|'s bit pattern.
@@ -38,9 +37,12 @@ const absBitsMask = 0x7fffffff
 // nonFiniteBits is the smallest abs-bit pattern that is not finite (+Inf).
 const nonFiniteBits = 0x7f800000
 
-// absMaxParallelMin is the element count above which AbsMax fans out to the
-// kernel worker pool (see SetWorkers). The reduction is order-independent,
-// so the result is bitwise-identical for any worker count.
+// absMaxParallelMin is the element count above which the order-independent
+// elementwise kernels (AbsMax, MinMax, AddBiasNCHW) fan out to the
+// persistent kernel worker pool (see SetWorkers, pool.go). Results are
+// bitwise-identical for any worker count. Sum is deliberately NOT in this
+// list: its lane rule pins the accumulation tree, and chunked partial sums
+// would change it.
 const absMaxParallelMin = 1 << 16
 
 // absMaxBits returns the unsigned maximum of sign-cleared bit patterns over
@@ -98,23 +100,11 @@ func (t *Tensor) AbsMax() float32 {
 		w = n/absMaxParallelMin + 1
 	}
 	partial := make([]uint32, w)
-	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for c := 0; c < w; c++ {
-		lo := c * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			partial[c] = absMaxBits(t.Data[lo:hi], 0)
-		}(c, lo, hi)
-	}
-	wg.Wait()
+	nc := parallelInto(w, n, func(c, lo, hi int) {
+		partial[c] = absMaxBits(t.Data[lo:hi], 0)
+	})
 	var m uint32
-	for _, p := range partial {
+	for _, p := range partial[:nc] {
 		if p > m {
 			m = p
 		}
@@ -146,21 +136,26 @@ func laneTotal(l *[4]float64) float64 { return (l[0] + l[1]) + (l[2] + l[3]) }
 // Sum returns the sum of all elements, accumulated in float64 across four
 // unrolled lanes (lane = flat index mod 4, combined (s0+s1)+(s2+s3)). The
 // lane rule makes fused epilogue sums bitwise-equal to this sweep.
+//
+// Sum stays serial by design: the lane rule pins the exact accumulation
+// tree, and parallel chunking would introduce per-chunk partials whose
+// combination rounds differently. Do not route it through the worker pool.
 func (t *Tensor) Sum() float64 {
 	var l [4]float64
 	sumLanes(&l, t.Data, 0)
 	return laneTotal(&l)
 }
 
-// MinMax returns the minimum and maximum element. If any element is NaN,
-// both results are NaN (corruption is never hidden). An empty tensor cannot
-// occur (New rejects empty shapes).
-func (t *Tensor) MinMax() (lo, hi float32) {
-	lo, hi = t.Data[0], t.Data[0]
-	nan := false
+// minMaxRange scans data (which must be non-empty), seeding both extrema
+// from data[0]. Comparisons are order-independent, so chunked scans combine
+// bitwise-exactly: min/max over IEEE-754 floats is associative and
+// commutative for non-NaN values, and NaN presence is tracked separately.
+func minMaxRange(data []float32) (lo, hi float32, nan bool) {
+	lo, hi = data[0], data[0]
+	nan = data[0] != data[0]
 	i := 1
-	for ; i+4 <= len(t.Data); i += 4 {
-		v0, v1, v2, v3 := t.Data[i], t.Data[i+1], t.Data[i+2], t.Data[i+3]
+	for ; i+4 <= len(data); i += 4 {
+		v0, v1, v2, v3 := data[i], data[i+1], data[i+2], data[i+3]
 		if v0 < lo {
 			lo = v0
 		}
@@ -189,8 +184,8 @@ func (t *Tensor) MinMax() (lo, hi float32) {
 			nan = true
 		}
 	}
-	for ; i < len(t.Data); i++ {
-		v := t.Data[i]
+	for ; i < len(data); i++ {
+		v := data[i]
 		if v < lo {
 			lo = v
 		}
@@ -201,9 +196,46 @@ func (t *Tensor) MinMax() (lo, hi float32) {
 			nan = true
 		}
 	}
-	if nan || t.Data[0] != t.Data[0] {
-		n := float32(math.NaN())
-		return n, n
+	return lo, hi, nan
+}
+
+// MinMax returns the minimum and maximum element. If any element is NaN,
+// both results are NaN (corruption is never hidden). An empty tensor cannot
+// occur (New rejects empty shapes). Large tensors scan on the kernel worker
+// pool; the comparisons are order-independent, so the result is
+// bitwise-identical for any worker count.
+func (t *Tensor) MinMax() (lo, hi float32) {
+	n := len(t.Data)
+	w := matmulWorkers
+	var nan bool
+	if n < absMaxParallelMin || w <= 1 {
+		lo, hi, nan = minMaxRange(t.Data)
+	} else {
+		if w > n/absMaxParallelMin+1 {
+			w = n/absMaxParallelMin + 1
+		}
+		los := make([]float32, w)
+		his := make([]float32, w)
+		nans := make([]bool, w)
+		nc := parallelInto(w, n, func(c, lo, hi int) {
+			los[c], his[c], nans[c] = minMaxRange(t.Data[lo:hi])
+		})
+		lo, hi = los[0], his[0]
+		for c := 0; c < nc; c++ {
+			if los[c] < lo {
+				lo = los[c]
+			}
+			if his[c] > hi {
+				hi = his[c]
+			}
+			if nans[c] {
+				nan = true
+			}
+		}
+	}
+	if nan {
+		v := float32(math.NaN())
+		return v, v
 	}
 	return lo, hi
 }
@@ -417,22 +449,42 @@ func MatMulIntoEp(dst, a, b *Tensor, mixed bool, ep *Epilogue) *Tensor {
 	ep.reset(n)
 	zero(dst.Data)
 	ad, bd, cd := a.Data, b.Data, dst.Data
+	var rb []float32
+	var rp *[]float32
+	if usePacked(mixed, m) {
+		rp = getPackBuf(len(bd))
+		rb = *rp
+		roundPanelBF16(rb, bd)
+	}
 	if !runParallel(m, m*k*n) {
 		for lo := 0; lo < m; lo += epRowBlock {
 			hi := lo + epRowBlock
 			if hi > m {
 				hi = m
 			}
-			gemmNN(cd, ad, bd, k, n, mixed, lo, hi)
+			if rb != nil {
+				gemmNNPacked(cd, ad, rb, k, n, lo, hi)
+			} else {
+				gemmNN(cd, ad, bd, k, n, mixed, lo, hi)
+			}
 			ep.accumRows(cd, lo, hi, n)
 		}
 	} else {
-		parallelRows(m, m*k*n, func(lo, hi int) {
-			gemmNN(cd, ad, bd, k, n, mixed, lo, hi)
-		})
+		if rb != nil {
+			parallelRows(m, m*k*n, func(lo, hi int) {
+				gemmNNPacked(cd, ad, rb, k, n, lo, hi)
+			})
+		} else {
+			parallelRows(m, m*k*n, func(lo, hi int) {
+				gemmNN(cd, ad, bd, k, n, mixed, lo, hi)
+			})
+		}
 		// One ordered pass after the join: the lane rule and ascending-row
 		// column accumulation must not depend on the worker count.
 		ep.accumRows(cd, 0, m, n)
+	}
+	if rp != nil {
+		putPackBuf(rp)
 	}
 	ep.finish()
 	dst.ClearDirty()

@@ -1,5 +1,109 @@
 package tensor
 
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Arena is a slab allocator for tensor storage. Engine construction
+// allocates hundreds of small tensors (parameters, gradients, normalization
+// statistics, workspace buffers); an arena carves them out of a few
+// contiguous slabs instead, so a pooled campaign engine is built with a
+// handful of allocations and its working set stays cache-resident across
+// forked experiments.
+//
+// Arenas only grow — nothing is ever freed or reused until the arena itself
+// becomes garbage — which is exactly right for engine lifetimes: every
+// tensor allocated during a build lives as long as the engine. Callers that
+// allocate repeatedly with varying shapes (workspace reallocation on shape
+// change) must fall back to the heap instead (Workspace does).
+//
+// Alloc is mutex-protected: concurrent layers of one engine (device-parallel
+// first iterations) may carve from the same arena safely. A nil *Arena is
+// valid and falls back to plain heap allocation.
+type Arena struct {
+	mu sync.Mutex
+
+	data []float32 // current float32 slab
+	off  int
+	hdrs []Tensor // current header slab
+	hoff int
+	ints []int // current shape slab
+	ioff int
+	wss  []Workspace // current workspace-header slab
+	woff int
+
+	floats int64 // total float32s ever carved, for Bytes
+}
+
+// Slab sizes: large enough that a typical engine build stays in single-digit
+// slab counts, small enough that a mostly-unused trailing slab wastes little.
+const (
+	arenaDataSlab = 1 << 15 // float32s (128 KiB)
+	arenaHdrSlab  = 64      // tensor headers
+	arenaIntSlab  = 256     // shape ints
+)
+
+// NewArena creates an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// New allocates a zero-filled tensor with the given shape out of the arena,
+// with the exact semantics of the package-level New (fresh slabs are zeroed
+// by construction and never reused, so the zero-fill contract holds). A nil
+// receiver allocates from the heap.
+func (a *Arena) New(shape ...int) *Tensor {
+	if a == nil {
+		return New(shape...)
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	a.mu.Lock()
+	if a.hoff == len(a.hdrs) {
+		a.hdrs = make([]Tensor, arenaHdrSlab)
+		a.hoff = 0
+	}
+	t := &a.hdrs[a.hoff]
+	a.hoff++
+	if a.ioff+len(shape) > len(a.ints) {
+		a.ints = make([]int, max(arenaIntSlab, len(shape)))
+		a.ioff = 0
+	}
+	// Three-index slices cap every carve at its own extent: an append past
+	// a tensor's length (Workspace rewrites shape headers in place) must
+	// reallocate to the heap, never clobber a neighbor's storage.
+	sh := a.ints[a.ioff : a.ioff+len(shape) : a.ioff+len(shape)]
+	a.ioff += len(shape)
+	if a.off+n > len(a.data) {
+		a.data = make([]float32, max(arenaDataSlab, n))
+		a.off = 0
+	}
+	d := a.data[a.off : a.off+n : a.off+n]
+	a.off += n
+	a.floats += int64(n)
+	a.mu.Unlock()
+	copy(sh, shape)
+	t.Shape = sh
+	t.Data = d
+	return t
+}
+
+// Bytes returns the total tensor payload carved from the arena so far
+// (header and shape storage are negligible at these sizes).
+func (a *Arena) Bytes() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.floats * 4
+}
+
 // Workspace is a shape-keyed scratch-buffer arena. Layers and kernels use
 // it so that steady-state training iterations — where every tensor shape
 // repeats iteration after iteration — allocate nothing: the first call for
@@ -26,10 +130,44 @@ package tensor
 // stay correct.
 type Workspace struct {
 	bufs map[string]*Tensor
+	// arena, when non-nil, backs each key's FIRST allocation. Shape-change
+	// reallocations always come from the heap: arenas never free, so a key
+	// whose element count alternates (training shard vs full test batch)
+	// must not grow the arena every swing.
+	arena *Arena
 }
 
-// NewWorkspace creates an empty arena.
-func NewWorkspace() *Workspace { return &Workspace{bufs: make(map[string]*Tensor)} }
+// NewWorkspace creates an empty arena. The key map is created lazily on
+// the first Get, so building a model whose workspaces are never used (a
+// pooled engine awaiting its first experiment) costs no map allocations.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// NewWorkspaceIn creates a workspace whose steady-state buffers (the first
+// allocation per key) are carved from a, keeping a pooled engine's scratch
+// memory in the same contiguous slabs as its parameters.
+func NewWorkspaceIn(a *Arena) *Workspace {
+	return &Workspace{arena: a}
+}
+
+// NewWorkspace carves an arena-backed workspace: the header comes from an
+// arena slab (the key map still comes from the heap) and the steady-state
+// buffers from the arena, like NewWorkspaceIn. A nil receiver falls back to
+// a plain heap workspace.
+func (a *Arena) NewWorkspace() *Workspace {
+	if a == nil {
+		return NewWorkspace()
+	}
+	a.mu.Lock()
+	if a.woff == len(a.wss) {
+		a.wss = make([]Workspace, arenaHdrSlab)
+		a.woff = 0
+	}
+	ws := &a.wss[a.woff]
+	a.woff++
+	a.mu.Unlock()
+	ws.arena = a
+	return ws
+}
 
 // Get returns the cached tensor for key, reallocating only when the
 // requested element count differs from the cached one. The shape header is
@@ -44,7 +182,17 @@ func (ws *Workspace) Get(key string, shape ...int) *Tensor {
 		return New(shape...)
 	}
 	t := ws.bufs[key]
-	if t == nil || len(t.Data) != n {
+	if t == nil {
+		if ws.bufs == nil {
+			ws.bufs = make(map[string]*Tensor)
+		}
+		t = ws.arena.New(shape...) // nil arena → heap
+		ws.bufs[key] = t
+		return t
+	}
+	if len(t.Data) != n {
+		// Shape-change reallocation: always from the heap (see the arena
+		// field comment).
 		t = New(shape...)
 		ws.bufs[key] = t
 		return t
@@ -58,4 +206,24 @@ func (ws *Workspace) GetZeroed(key string, shape ...int) *Tensor {
 	t := ws.Get(key, shape...)
 	t.Zero()
 	return t
+}
+
+// Reset poisons every cached buffer with NaNs and marks it dirty, without
+// dropping the buffers themselves (the next Get still reuses them). Buffer
+// contents are undefined between Gets — every consumer must fully overwrite
+// before reading — so a Reset between pooled-engine experiments must not
+// change any result; if stale workspace state ever leaked across a reuse,
+// the poison would surface it as a loud NaN. The campaign scrub invariant
+// (experiment.Config.ScrubWorkspaces) is built on this.
+func (ws *Workspace) Reset() {
+	if ws == nil {
+		return
+	}
+	nan := float32(math.NaN())
+	for _, t := range ws.bufs {
+		for i := range t.Data {
+			t.Data[i] = nan
+		}
+		t.MarkDirty()
+	}
 }

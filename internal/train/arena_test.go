@@ -1,0 +1,65 @@
+package train_test
+
+// Arena-backed engine construction is a pure allocation optimization: an
+// engine built inside a tensor.Arena must be bitwise-identical — weights,
+// losses, state digests, every iteration — to one built from the heap.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/train"
+	"repro/internal/workloads"
+)
+
+func TestArenaEngineBitwiseEquivalence(t *testing.T) {
+	const iters = 6
+	run := func(arena bool) [][16]byte {
+		old := train.SetBuildArena(arena)
+		defer train.SetBuildArena(old)
+		w := workloads.ResnetMixed()
+		e := w.NewEngine(rng.Seed{State: 42, Stream: 7})
+		digests := make([][16]byte, 0, iters+1)
+		digests = append(digests, e.StateDigest())
+		for i := 0; i < iters; i++ {
+			e.RunIteration(i)
+			digests = append(digests, e.StateDigest())
+		}
+		return digests
+	}
+	heap := run(false)
+	arena := run(true)
+	for i := range heap {
+		if heap[i] != arena[i] {
+			t.Fatalf("digest diverged at iteration %d: heap %#x, arena %#x", i, heap[i], arena[i])
+		}
+	}
+}
+
+// TestScrubWorkspacesExact: poisoning the replicas' kernel scratch between
+// snapshots must not change any subsequent result — scratch contents are
+// undefined between kernel calls by contract, and this test enforces it.
+func TestScrubWorkspacesExact(t *testing.T) {
+	const iters = 6
+	run := func(scrub bool) [][16]byte {
+		w := workloads.ResnetMixed()
+		e := w.NewEngine(rng.Seed{State: 9, Stream: 3})
+		digests := make([][16]byte, 0, iters)
+		for i := 0; i < iters; i++ {
+			if scrub {
+				e.ScrubWorkspaces()
+			}
+			e.RunIteration(i)
+			digests = append(digests, e.StateDigest())
+		}
+		return digests
+	}
+	plain := run(false)
+	scrubbed := run(true)
+	for i := range plain {
+		if plain[i] != scrubbed[i] {
+			t.Fatalf("scrub changed the trajectory at iteration %d: %#x vs %#x — a kernel is reading stale workspace state",
+				i, plain[i], scrubbed[i])
+		}
+	}
+}

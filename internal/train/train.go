@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/accel"
 	"repro/internal/comm"
@@ -52,6 +53,21 @@ type Config struct {
 // BuildFunc constructs one model replica. It is called once per device with
 // an identical RNG so replicas start with identical weights.
 type BuildFunc func(r *rng.Rand) *nn.Sequential
+
+// noBuildArena disables arena-backed replica construction (zero value =
+// arena on). Process-global so the equivalence tests can compare both modes.
+var noBuildArena atomic.Bool
+
+// SetBuildArena selects whether New builds its replicas inside a per-engine
+// tensor.Arena (true, the default — a few slab allocations instead of
+// hundreds of small ones, see nn.BuildIn) or from the heap, returning the
+// previous setting. Engines built either way are bitwise-identical in every
+// value; the knob exists for the equivalence tests and benchmarking.
+func SetBuildArena(on bool) bool {
+	old := !noBuildArena.Load()
+	noBuildArena.Store(!on)
+	return old
+}
 
 // Engine drives synchronous data-parallel training.
 type Engine struct {
@@ -119,15 +135,26 @@ func New(cfg Config, build BuildFunc, optimizer opt.Optimizer, loader *data.Load
 	}
 	e := &Engine{cfg: cfg, opt: optimizer, loader: loader, testSet: testSet,
 		seedRand: rng.New(cfg.Seed)}
+	// All replicas share one arena: their tensors land in a few contiguous
+	// slabs, so a pooled campaign engine stays cache-resident across forked
+	// experiments and costs near-zero allocations to build.
+	var arena *tensor.Arena
+	if !noBuildArena.Load() {
+		arena = tensor.NewArena()
+	}
+	e.replicas = make([]*nn.Sequential, 0, cfg.Devices)
 	for d := 0; d < cfg.Devices; d++ {
 		// Identical init RNG per replica → identical weights.
-		e.replicas = append(e.replicas, build(rng.New(cfg.Seed).Split(0xbead)))
+		r := rng.New(cfg.Seed).Split(0xbead)
+		e.replicas = append(e.replicas, nn.BuildIn(arena, func() *nn.Sequential { return build(r) }))
 	}
 	e.grp = comm.NewGroup(cfg.Devices)
+	e.gradViews = make([][]*tensor.Tensor, 0, cfg.Devices)
 	for d := 0; d < cfg.Devices; d++ {
-		var views []*tensor.Tensor
-		for _, p := range e.replicas[d].Params() {
-			views = append(views, p.Grad)
+		params := e.replicas[d].Params()
+		views := make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			views[i] = p.Grad
 		}
 		e.gradViews = append(e.gradViews, views)
 	}
@@ -240,6 +267,17 @@ func (e *Engine) Reset() {
 	e.lastNonFinite = ""
 	e.grp.Reset()
 	e.lastReduce = comm.ReduceStep{}
+}
+
+// ScrubWorkspaces poisons the cached kernel scratch buffers of every
+// replica with NaNs (nn.Sequential.ScrubWorkspaces). Scratch contents are
+// undefined between kernel calls, so scrubbing must never change results;
+// the campaign workspace-scrub invariant (experiment.Config.ScrubWorkspaces)
+// runs it between pooled-engine experiments to prove exactly that.
+func (e *Engine) ScrubWorkspaces() {
+	for _, m := range e.replicas {
+		m.ScrubWorkspaces()
+	}
 }
 
 // SetDeviceParallel selects whether RunIteration steps the devices on

@@ -100,15 +100,14 @@ const (
 // layers; momentum is the BN decay factor.
 func resnetBuild(withBN bool, momentum float32, mixed bool) train.BuildFunc {
 	return func(r *rng.Rand) *nn.Sequential {
-		var layers []nn.Layer
+		layers := make([]nn.Layer, 0, 8)
 		layers = append(layers, nn.NewConv2D("conv1", imgC, 8, 3, 3, 1, 1, r, mixed))
 		if withBN {
 			layers = append(layers, nn.NewBatchNorm("bn1", 8, momentum))
 		}
 		layers = append(layers, nn.NewReLU())
-		branch := []nn.Layer{
-			nn.NewConv2D("res1/conv1", 8, 8, 3, 3, 1, 1, r, mixed),
-		}
+		branch := make([]nn.Layer, 0, 5)
+		branch = append(branch, nn.NewConv2D("res1/conv1", 8, 8, 3, 3, 1, 1, r, mixed))
 		if withBN {
 			branch = append(branch, nn.NewBatchNorm("res1/bn1", 8, momentum))
 		}

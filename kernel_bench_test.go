@@ -180,3 +180,106 @@ func BenchmarkKernel_TrainStepDeviceParallel(b *testing.B) {
 		_ = e.RunIteration(i + 1)
 	}
 }
+
+// --- persistent pool + bf16 panel packing (bench_kernel.sh legs) ---
+
+// benchWorkloadGEMM returns the dominant GEMM shape of the Resnet step: the
+// im2col matrix [B·H·W, InC·KH·KW] times the lowered kernel [InC·KH·KW,
+// OutC·…] — 8×72 by 72×576, which clears the parallel threshold.
+func benchWorkloadGEMM() (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor) {
+	r := rng.NewFromInt(33)
+	a := tensor.New(8, 72)
+	bm := tensor.New(72, 576)
+	a.FillNormal(r, 0, 1)
+	bm.FillNormal(r, 0, 1)
+	return tensor.New(8, 576), a, bm
+}
+
+// BenchmarkKernel_GEMMPool: workload-shaped parallel GEMM dispatched to the
+// persistent worker pool. Workers are pinned to 4 so the dispatch machinery
+// runs even on a single-core host (where GOMAXPROCS would otherwise keep
+// the kernel serial) — the leg measures dispatch cost, pool vs spawn.
+func BenchmarkKernel_GEMMPool(b *testing.B) {
+	dst, x, y := benchWorkloadGEMM()
+	defer tensor.SetWorkers(tensor.SetWorkers(4))
+	defer tensor.SetParallelThreshold(tensor.SetParallelThreshold(0))
+	defer tensor.SetUsePool(tensor.SetUsePool(true))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulInto(dst, x, y, false)
+	}
+}
+
+// BenchmarkKernel_GEMMSpawn: the same GEMM with the legacy per-call
+// goroutine fan-out, the pre-pool dispatch the pool replaces.
+func BenchmarkKernel_GEMMSpawn(b *testing.B) {
+	dst, x, y := benchWorkloadGEMM()
+	defer tensor.SetWorkers(tensor.SetWorkers(4))
+	defer tensor.SetParallelThreshold(tensor.SetParallelThreshold(0))
+	defer tensor.SetUsePool(tensor.SetUsePool(false))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulInto(dst, x, y, false)
+	}
+}
+
+// BenchmarkKernel_GEMMMixedPacked: bf16 GEMM with the B panel pre-rounded
+// once into a pooled buffer (default mode).
+func BenchmarkKernel_GEMMMixedPacked(b *testing.B) {
+	x, y := benchMats(256)
+	dst := tensor.New(256, 256)
+	defer tensor.SetPackBF16(tensor.SetPackBF16(true))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulInto(dst, x, y, true)
+	}
+}
+
+// BenchmarkKernel_GEMMMixedScalar: the pre-packing bf16 GEMM, re-rounding
+// every B element once per A row.
+func BenchmarkKernel_GEMMMixedScalar(b *testing.B) {
+	x, y := benchMats(256)
+	dst := tensor.New(256, 256)
+	defer tensor.SetPackBF16(tensor.SetPackBF16(false))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulInto(dst, x, y, true)
+	}
+}
+
+// BenchmarkKernel_TrainStepMixed is the headline tentpole leg: a full
+// bf16-GEMM training iteration with the persistent pool and panel packing
+// on (the defaults).
+func BenchmarkKernel_TrainStepMixed(b *testing.B) {
+	defer tensor.SetUsePool(tensor.SetUsePool(true))
+	defer tensor.SetPackBF16(tensor.SetPackBF16(true))
+	w := workloads.ResnetMixed()
+	e := w.NewEngine(rng.Seed{State: 77, Stream: 1})
+	e.RunIteration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.RunIteration(i + 1)
+	}
+}
+
+// BenchmarkKernel_TrainStepMixedBaseline is the identical step with both
+// tentpole optimizations disabled — per-call goroutine fan-out and
+// per-row bf16 re-rounding — i.e. the previous main behavior. Results are
+// bitwise-identical to TrainStepMixed; only the schedule differs.
+func BenchmarkKernel_TrainStepMixedBaseline(b *testing.B) {
+	defer tensor.SetUsePool(tensor.SetUsePool(false))
+	defer tensor.SetPackBF16(tensor.SetPackBF16(false))
+	w := workloads.ResnetMixed()
+	e := w.NewEngine(rng.Seed{State: 77, Stream: 1})
+	e.RunIteration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.RunIteration(i + 1)
+	}
+}
