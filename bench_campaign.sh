@@ -10,7 +10,7 @@ set -eu
 cd "$(dirname "$0")"
 benchtime="${BENCHTIME:-3x}"
 
-out=$(go test -run '^$' -bench 'Benchmark(Campaign(Cold|Forked|ForkedNoPool|ForkedTelemetry|PoolOnly|DedupEarlyExit)|Engine(Build|PoolReuse))$' \
+out=$(go test -run '^$' -bench 'Benchmark(Campaign(Cold|Forked|ForkedNoPool|ForkedTelemetry|ForkedUnordered|PoolOnly|DedupEarlyExit)|Engine(Build|PoolReuse))$' \
 	-benchtime "$benchtime" -count 1 .)
 echo "$out"
 
@@ -27,6 +27,9 @@ named_metric() {
 
 cold=$(metric BenchmarkCampaignCold)
 forked=$(metric BenchmarkCampaignForked)
+unordered=$(metric BenchmarkCampaignForkedUnordered)
+warm=$(named_metric BenchmarkCampaignForked warm-restores)
+coldr=$(named_metric BenchmarkCampaignForked cold-restores)
 forkonly=$(metric BenchmarkCampaignForkedNoPool)
 poolonly=$(metric BenchmarkCampaignPoolOnly)
 telem=$(metric BenchmarkCampaignForkedTelemetry)
@@ -44,6 +47,9 @@ speedup=$(awk -v c="$cold" -v f="$forked" 'BEGIN {printf "%.3f", c / f}')
 # iteration 0, no forking, no dedup, no early exit.
 speedup_dedup=$(awk -v c="$cold" -v d="$dedup" 'BEGIN {printf "%.3f", c / d}')
 speedup_dedup_forked=$(awk -v f="$forked" -v d="$dedup" 'BEGIN {printf "%.3f", f / d}')
+# Snapshot-affine scheduling (the default) vs index-order dispatch: byte-
+# identical results (TestAffineSchedulingEquivalence), pure locality win.
+speedup_affine=$(awk -v u="$unordered" -v f="$forked" 'BEGIN {printf "%.3f", u / f}')
 
 cat >BENCH_campaign.json <<EOF
 {
@@ -51,6 +57,9 @@ cat >BENCH_campaign.json <<EOF
   "benchtime": "$benchtime",
   "cold_ns_per_op": $cold,
   "forked_ns_per_op": $forked,
+  "forked_unordered_ns_per_op": ${unordered:-null},
+  "warm_restores": ${warm:-0},
+  "cold_restores": ${coldr:-0},
   "forked_nopool_ns_per_op": ${forkonly:-null},
   "pool_only_ns_per_op": ${poolonly:-null},
   "forked_telemetry_ns_per_op": ${telem:-null},
@@ -61,7 +70,8 @@ cat >BENCH_campaign.json <<EOF
   "early_exits": ${exits:-0},
   "speedup_forked_vs_cold": $speedup,
   "speedup_dedup_vs_exhaustive": $speedup_dedup,
-  "speedup_dedup_vs_forked": $speedup_dedup_forked
+  "speedup_dedup_vs_forked": $speedup_dedup_forked,
+  "speedup_affine_vs_unordered": ${speedup_affine:-null}
 }
 EOF
-echo "wrote BENCH_campaign.json (forked vs cold: ${speedup}x, dedup+early-exit vs exhaustive: ${speedup_dedup}x)"
+echo "wrote BENCH_campaign.json (forked vs cold: ${speedup}x, dedup+early-exit vs exhaustive: ${speedup_dedup}x, affine vs unordered: ${speedup_affine}x)"

@@ -1,19 +1,39 @@
 #!/bin/sh
 # Runs the kernel-layer benchmarks (persistent worker pool vs per-call
-# goroutine fan-out, panel-packed bf16 GEMM vs scalar re-rounding, and the
-# full mixed-precision training step with both on vs both off — see
-# kernel_bench_test.go) and emits BENCH_kernel.json so the raw kernel-speed
-# trajectory is tracked across PRs.
+# goroutine fan-out, panel-packed bf16 GEMM vs scalar re-rounding, L2-tiled
+# vs full-panel packing, and the full mixed-precision training step with
+# everything on vs everything off — see kernel_bench_test.go) and emits
+# BENCH_kernel.json so the raw kernel-speed trajectory is tracked across
+# PRs.
 #
-# Usage: ./bench_kernel.sh            # BENCHTIME=50x by default
-#        BENCHTIME=200x ./bench_kernel.sh
+# The legs are *interleaved*: the test binary is built once and each rep
+# runs every leg back to back, so the two sides of each ratio sample the
+# same machine phase. Shared hosts drift on a multi-minute scale, which a
+# consecutive `-count N` cannot cancel — it lands the drift entirely on
+# one side of a ratio. metric() then averages each leg's reps.
+#
+# Usage: ./bench_kernel.sh            # BENCHTIME=50x, REPS=3 by default
+#        BENCHTIME=200x REPS=5 ./bench_kernel.sh
 set -eu
 
 cd "$(dirname "$0")"
 benchtime="${BENCHTIME:-50x}"
+reps="${REPS:-3}"
 
-out=$(go test -run '^$' -bench 'BenchmarkKernel_(GEMMPool|GEMMSpawn|GEMMMixedPacked|GEMMMixedScalar|TrainStepMixed|TrainStepMixedBaseline)$' \
-	-benchtime "$benchtime" -count 1 .)
+bin=$(mktemp /tmp/repro-bench.XXXXXX)
+trap 'rm -f "$bin"' EXIT
+go test -c -o "$bin" .
+
+legs="GEMMPool GEMMSpawn GEMMMixedPacked GEMMMixedScalar GEMMMixedL2Tiled GEMMMixedFullPanel TrainStepMixed TrainStepMixedBaseline"
+out=""
+rep=0
+while [ "$rep" -lt "$reps" ]; do
+	rep=$((rep + 1))
+	for leg in $legs; do
+		out="$out
+$("$bin" -test.run '^$' -test.bench "BenchmarkKernel_${leg}\$" -test.benchtime "$benchtime")"
+	done
+done
 echo "$out"
 
 metric() {
@@ -24,32 +44,47 @@ pool=$(metric BenchmarkKernel_GEMMPool)
 spawn=$(metric BenchmarkKernel_GEMMSpawn)
 packed=$(metric BenchmarkKernel_GEMMMixedPacked)
 scalar=$(metric BenchmarkKernel_GEMMMixedScalar)
+tiled=$(metric BenchmarkKernel_GEMMMixedL2Tiled)
+fullpanel=$(metric BenchmarkKernel_GEMMMixedFullPanel)
 step=$(metric BenchmarkKernel_TrainStepMixed)
 stepbase=$(metric BenchmarkKernel_TrainStepMixedBaseline)
-if [ -z "$pool" ] || [ -z "$packed" ] || [ -z "$step" ] || [ -z "$stepbase" ]; then
+if [ -z "$pool" ] || [ -z "$packed" ] || [ -z "$tiled" ] || [ -z "$step" ] || [ -z "$stepbase" ]; then
 	echo "bench_kernel: missing benchmark output" >&2
 	exit 1
 fi
 speedup_pool=$(awk -v s="$spawn" -v p="$pool" 'BEGIN {printf "%.3f", s / p}')
 speedup_packed=$(awk -v s="$scalar" -v p="$packed" 'BEGIN {printf "%.3f", s / p}')
+speedup_tiled=$(awk -v f="$fullpanel" -v t="$tiled" 'BEGIN {printf "%.3f", f / t}')
 # The headline number: full bf16 training step with pool+packing (the
 # defaults) against the previous main behavior (spawn dispatch, per-row
 # re-rounding). Acceptance floor is 1.2x.
 speedup_step=$(awk -v b="$stepbase" -v s="$step" 'BEGIN {printf "%.3f", b / s}')
 
+# The persistent pool must never lose to the per-call goroutine fan-out it
+# replaced; a <1.0 ratio is a dispatch regression, not noise (the legs are
+# interleaved and averaged above exactly so this gate can be strict).
+if [ "$(awk -v r="$speedup_pool" 'BEGIN {print (r < 1.0) ? 1 : 0}')" = 1 ]; then
+	echo "bench_kernel: FAIL: pool dispatch slower than spawn (ratio ${speedup_pool} < 1.0)" >&2
+	exit 1
+fi
+
 cat >BENCH_kernel.json <<EOF
 {
   "benchmark": "kernel",
   "benchtime": "$benchtime",
+  "reps": $reps,
   "gemm_pool_ns_per_op": $pool,
   "gemm_spawn_ns_per_op": ${spawn:-null},
   "gemm_mixed_packed_ns_per_op": $packed,
   "gemm_mixed_scalar_ns_per_op": ${scalar:-null},
+  "gemm_mixed_l2tiled_ns_per_op": $tiled,
+  "gemm_mixed_fullpanel_ns_per_op": ${fullpanel:-null},
   "trainstep_mixed_ns_per_op": $step,
   "trainstep_mixed_baseline_ns_per_op": $stepbase,
   "speedup_pool_vs_spawn": $speedup_pool,
   "speedup_packed_vs_scalar": $speedup_packed,
+  "speedup_l2tiled_vs_fullpanel": $speedup_tiled,
   "speedup_trainstep_vs_baseline": $speedup_step
 }
 EOF
-echo "wrote BENCH_kernel.json (trainstep pool+packed vs baseline: ${speedup_step}x, packed GEMM: ${speedup_packed}x, pool dispatch: ${speedup_pool}x)"
+echo "wrote BENCH_kernel.json (trainstep pool+packed vs baseline: ${speedup_step}x, packed GEMM: ${speedup_packed}x, L2 tiling: ${speedup_tiled}x, pool dispatch: ${speedup_pool}x)"

@@ -62,12 +62,35 @@ func BenchmarkCampaignCold(b *testing.B) {
 }
 
 func BenchmarkCampaignForked(b *testing.B) {
-	cfg := benchCampaignConfig(b) // defaults: auto stride + engine pool
+	cfg := benchCampaignConfig(b) // defaults: auto stride + engine pool + affine
 	b.ReportAllocs()
 	b.ResetTimer()
+	var c *experiment.Campaign
 	for i := 0; i < b.N; i++ {
-		_ = experiment.Run(cfg)
+		c = experiment.Run(cfg)
 	}
+	b.ReportMetric(float64(c.WarmRestores), "warm-restores")
+	b.ReportMetric(float64(c.ColdRestores), "cold-restores")
+}
+
+// BenchmarkCampaignForkedUnordered is BenchmarkCampaignForked with
+// snapshot-affine scheduling disabled: experiments dispatch in index order,
+// so consecutive experiments on a worker usually fork from different golden
+// snapshots (cold restores). Records, Tally, and journal bytes are
+// byte-identical to the affine leg (TestAffineSchedulingEquivalence,
+// TestJournalBytesSchedulingInvariant); the ns/op ratio is the pure
+// locality win of grouping same-snapshot experiments.
+func BenchmarkCampaignForkedUnordered(b *testing.B) {
+	cfg := benchCampaignConfig(b)
+	cfg.NoAffine = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	var c *experiment.Campaign
+	for i := 0; i < b.N; i++ {
+		c = experiment.Run(cfg)
+	}
+	b.ReportMetric(float64(c.WarmRestores), "warm-restores")
+	b.ReportMetric(float64(c.ColdRestores), "cold-restores")
 }
 
 // BenchmarkCampaignForkedTelemetry is BenchmarkCampaignForked with a live

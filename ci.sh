@@ -69,6 +69,15 @@ wait "$pid" || true # 130 when the interrupt landed mid-run
 	-journal "$tmp/run.jsonl" -resume -json "$tmp/resumed.json" >/dev/null
 cmp "$tmp/ref.json" "$tmp/resumed.json"
 
+echo "== locality smoke (-affine=false + tiny -l2-bytes must not change a byte) =="
+# Same campaign as the reference above, with index-order dispatch and a
+# pack-tile budget small enough to force L2 tiling on every panel: the
+# archived records must still be byte-identical (scheduling and tiling are
+# pure placement).
+"$tmp/campaign" -workload resnet -n 40 -iters 12 -seed 5 \
+	-affine=false -l2-bytes 65536 -json "$tmp/locality.json" >/dev/null
+cmp "$tmp/ref.json" "$tmp/locality.json"
+
 echo "== dedup/early-exit equivalence smoke (-race, reported tally must match exhaustive byte for byte) =="
 go build -race -o "$tmp/campaign.race" ./cmd/campaign
 "$tmp/campaign.race" -workload resnet -n 24 -iters 12 -seed 6 >"$tmp/exhaustive.txt"
@@ -110,10 +119,10 @@ done
 cmp "$tmp/dfref.json" "$tmp/dfresumed.json"
 
 echo "== campaign bench smoke (-benchtime=1x) =="
-go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked|ForkedTelemetry)$' -benchtime 1x .
+go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked|ForkedTelemetry|ForkedUnordered)$' -benchtime 1x .
 
 echo "== kernel bench smoke (-benchtime=1x) =="
-go test -run '^$' -bench 'BenchmarkKernel_(GEMMPool|GEMMMixedPacked|TrainStepMixed)$' -benchtime 1x .
+go test -run '^$' -bench 'BenchmarkKernel_(GEMMPool|GEMMMixedPacked|GEMMMixedL2Tiled|TrainStepMixed)$' -benchtime 1x .
 
 echo "== overhead bench smoke (-benchtime=1x) =="
 go test -run '^$' -bench 'BenchmarkOverhead(Plain|DetectCheck(Fused|Sweep)|ABFT(Fused|Sweep))$' -benchtime 1x .

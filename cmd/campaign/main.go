@@ -37,6 +37,7 @@ import (
 	"repro/internal/outcome"
 	"repro/internal/record"
 	"repro/internal/telemetry"
+	"repro/internal/tensor"
 	"repro/internal/workloads"
 )
 
@@ -66,6 +67,8 @@ func main() {
 		convTol    = flag.Float64("converged-tol", 0, "with -converged-tail: metric tolerance (0 = default 1e-3)")
 		convPat    = flag.Int("converged-patience", 0, "with -converged-tail: consecutive in-tolerance iterations required (0 = default 5)")
 		scrubWS    = flag.Bool("scrub-workspaces", false, "NaN-poison pooled engines' kernel scratch buffers between experiments (exact; debugging invariant check for scratch-state leaks)")
+		affine     = flag.Bool("affine", true, "snapshot-affine scheduling: group experiments by the golden snapshot they fork from so pooled workers restore cache-resident snapshots (exact; results and journal bytes are identical either way)")
+		l2Bytes    = flag.Int64("l2-bytes", 0, "GEMM pack-tile budget in bytes, normally the per-core L2 size (0 = sysfs autodetect with a 2 MiB fallback; exact — tiling never changes results)")
 	)
 	flag.Parse()
 
@@ -87,6 +90,10 @@ func main() {
 	}
 	if *devFaults != "" && (*dedup || *earlyExit || *convTail) {
 		fatal(fmt.Errorf("-dedup/-early-exit/-converged-tail apply only to FF campaigns: device faults carry per-experiment random value streams and stay armed across iterations, so neither the dedup keys nor the early-exit proof hold"))
+	}
+
+	if *l2Bytes > 0 {
+		tensor.SetL2Bytes(int(*l2Bytes))
 	}
 
 	// SIGINT/SIGTERM cancel the campaign context: the worker pool drains
@@ -128,6 +135,7 @@ func main() {
 			SnapshotStride:    *stride,
 			SnapshotMemBudget: *snapMem,
 			NoPool:            !*pool,
+			NoAffine:          !*affine,
 			ScrubWorkspaces:   *scrubWS,
 			DeviceFaults:      *devFaults != "",
 			DeviceFaultKinds:  deviceFaultKinds,

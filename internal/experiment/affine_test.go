@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// seqSink records the exact append sequence a campaign produces, plus every
+// record. An identical append sequence over bit-identical records implies an
+// identical journal file, so these tests pin journal bytes without importing
+// internal/record (which depends on this package).
+type seqSink struct {
+	mu    sync.Mutex
+	order []int
+	recs  map[int]Record
+}
+
+func (s *seqSink) Append(i int, rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.order = append(s.order, i)
+	s.recs[i] = rec
+	return nil
+}
+
+func (s *seqSink) Flush() error { return nil }
+
+// assertSameAppends requires got to have appended exactly the same index
+// sequence and record bytes as the reference sink.
+func assertSameAppends(t *testing.T, tag string, want, got *seqSink) {
+	t.Helper()
+	if len(got.order) != len(want.order) {
+		t.Fatalf("%s: %d appends, reference made %d", tag, len(got.order), len(want.order))
+	}
+	for p, idx := range want.order {
+		if got.order[p] != idx {
+			t.Fatalf("%s: append %d is record %d, reference appended %d", tag, p, got.order[p], idx)
+		}
+	}
+	for i, rec := range got.recs {
+		w, ok := want.recs[i]
+		if !ok {
+			t.Fatalf("%s: appended record %d absent from reference", tag, i)
+		}
+		r := rec
+		if !recordsEqual(&w, &r) {
+			t.Fatalf("%s: appended record %d differs from reference", tag, i)
+		}
+	}
+}
+
+// TestAffineSchedulingEquivalence is the scheduling exactness proof:
+// snapshot-affine dispatch must produce byte-identical Records, Tally, and
+// journal append sequence versus unordered index dispatch, for every worker
+// count — scheduling is a pure locality optimization. ci.sh runs this under
+// -race.
+func TestAffineSchedulingEquivalence(t *testing.T) {
+	base := resumeTestConfig(t)
+
+	// Reference: index-order dispatch on one worker — the schedule whose
+	// natural append order the canonical journal sequence mirrors.
+	refCfg := base
+	refCfg.NoAffine = true
+	refCfg.Workers = 1
+	refSink := &seqSink{recs: map[int]Record{}}
+	want, err := Resume(refCfg, RunOptions{Sink: refSink})
+	if err != nil {
+		t.Fatalf("reference run failed: %v", err)
+	}
+	if want.Completed != base.Experiments {
+		t.Fatalf("reference run completed %d/%d", want.Completed, base.Experiments)
+	}
+
+	for _, noAffine := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 3} {
+			cfg := base
+			cfg.NoAffine = noAffine
+			cfg.Workers = workers
+			sink := &seqSink{recs: map[int]Record{}}
+			stats := telemetry.NewCampaignStats("resnet", cfg.Experiments, workers)
+			got, err := Resume(cfg, RunOptions{Sink: sink, Stats: stats})
+			tag := fmt.Sprintf("noAffine=%v workers=%d", noAffine, workers)
+			if err != nil {
+				t.Fatalf("%s: run failed: %v", tag, err)
+			}
+			assertCampaignsIdentical(t, tag, want, got)
+			assertSameAppends(t, tag, refSink, sink)
+
+			// Every dispatched experiment restores exactly one snapshot into
+			// its pooled engine, warm or cold; the telemetry mirror must agree.
+			if got.WarmRestores+got.ColdRestores != int64(base.Experiments) {
+				t.Fatalf("%s: %d warm + %d cold restores, want %d total",
+					tag, got.WarmRestores, got.ColdRestores, base.Experiments)
+			}
+			snap := stats.Snapshot()
+			if snap.WarmRestores != got.WarmRestores || snap.ColdRestores != got.ColdRestores {
+				t.Fatalf("%s: telemetry restores (%d, %d) != campaign (%d, %d)", tag,
+					snap.WarmRestores, snap.ColdRestores, got.WarmRestores, got.ColdRestores)
+			}
+		}
+	}
+
+	// Restores are an engine-pool concept: without pooled engines nothing is
+	// restored, so the counters must stay zero — and results still match.
+	np := base
+	np.NoPool = true
+	got, err := Resume(np, RunOptions{})
+	if err != nil {
+		t.Fatalf("NoPool run failed: %v", err)
+	}
+	assertCampaignsIdentical(t, "nopool", want, got)
+	if got.WarmRestores != 0 || got.ColdRestores != 0 {
+		t.Fatalf("NoPool campaign counted restores (%d warm, %d cold)",
+			got.WarmRestores, got.ColdRestores)
+	}
+}
+
+// TestAffineSchedulingDedupJournal extends the scheduling proof to dedup
+// campaigns, whose journals interleave owner records with synthesized
+// adoptees: the canonical owner→adoptees sequence must hold for affine
+// multi-worker runs too.
+func TestAffineSchedulingDedupJournal(t *testing.T) {
+	base := resumeTestConfig(t)
+	base.Dedup = true
+
+	refCfg := base
+	refCfg.NoAffine = true
+	refCfg.Workers = 1
+	refSink := &seqSink{recs: map[int]Record{}}
+	want, err := Resume(refCfg, RunOptions{Sink: refSink})
+	if err != nil {
+		t.Fatalf("reference run failed: %v", err)
+	}
+	if len(refSink.order) != base.Experiments {
+		t.Fatalf("reference journaled %d records, want %d", len(refSink.order), base.Experiments)
+	}
+
+	for _, workers := range []int{1, 3} {
+		cfg := base
+		cfg.Workers = workers
+		sink := &seqSink{recs: map[int]Record{}}
+		got, err := Resume(cfg, RunOptions{Sink: sink})
+		tag := fmt.Sprintf("dedup workers=%d", workers)
+		if err != nil {
+			t.Fatalf("%s: run failed: %v", tag, err)
+		}
+		assertCampaignsIdentical(t, tag, want, got)
+		assertSameAppends(t, tag, refSink, sink)
+	}
+}
+
+// TestCrossConfigResume pins the journal portability contract: a campaign
+// journaled under one execution configuration (unordered dispatch, tiny L2
+// pack tiles) resumes byte-identically under another (affine dispatch,
+// full-panel tiles, different worker count), because none of those knobs
+// enter Config.Fingerprint or the record bytes.
+func TestCrossConfigResume(t *testing.T) {
+	base := resumeTestConfig(t)
+
+	affine := base
+	affine.NoAffine = true
+	if affine.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fingerprint depends on NoAffine; journals would not be portable across it")
+	}
+
+	want := Run(base)
+	if want.Completed != base.Experiments {
+		t.Fatalf("uninterrupted run completed %d/%d", want.Completed, base.Experiments)
+	}
+
+	// Phase 1: journal half the campaign under config A — unordered
+	// dispatch, forced Kc×Nc tiling — then cancel.
+	cfgA := base
+	cfgA.NoAffine = true
+	cfgA.Workers = 2
+	oldL2 := tensor.SetL2Bytes(64 << 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	sink := &cancelSink{recs: map[int]Record{}, after: 4, cancel: cancel}
+	_, err := Resume(cfgA, RunOptions{Context: ctx, Sink: sink})
+	cancel()
+	tensor.SetL2Bytes(oldL2)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run failed: %v", err)
+	}
+	if len(sink.recs) < 4 {
+		t.Fatalf("only %d records reached the journal", len(sink.recs))
+	}
+
+	// Phase 2: resume under config B — affine dispatch, full-panel packing,
+	// different worker count.
+	cfgB := base
+	cfgB.Workers = 3
+	prior := make(map[int]Record, len(sink.recs))
+	for i, rec := range sink.recs {
+		prior[i] = rec
+	}
+	old := tensor.SetL2Bytes(1 << 30)
+	resumed, err := Resume(cfgB, RunOptions{Prior: prior})
+	tensor.SetL2Bytes(old)
+	if err != nil {
+		t.Fatalf("cross-config resume failed: %v", err)
+	}
+	assertCampaignsIdentical(t, "cross-config", want, resumed)
+}

@@ -166,6 +166,17 @@ type Config struct {
 	// ConvergedPatience is the consecutive-iteration requirement
 	// (0 = 5).
 	ConvergedPatience int
+	// NoAffine disables snapshot-affine experiment scheduling: by default
+	// the dispatcher groups pending experiments by the golden snapshot they
+	// fork from and feeds each group consecutively, so a pooled worker's
+	// Restore usually rewinds to the snapshot it just used (warm restore —
+	// the snapshot bytes and the engine working set are still
+	// cache-resident). With NoAffine experiments dispatch in index order,
+	// as before this knob existed. Scheduling is a pure execution concern:
+	// Records, Tally, and journal bytes are identical either way
+	// (TestAffineSchedulingEquivalence), so it is excluded from
+	// Config.Fingerprint and journals mix freely across both modes.
+	NoAffine bool
 	// Quarantine enables the mitigation path for device-fault experiments:
 	// collective timeout+retry with exclusion, the cross-replica
 	// consistency check, quarantine + two-iteration re-execution, and
@@ -274,6 +285,16 @@ type Campaign struct {
 	Snapshots     int
 	SnapshotBytes int64
 	Stride        int
+
+	// WarmRestores / ColdRestores split this run's pooled-engine snapshot
+	// restores by whether the worker's previous experiment forked from the
+	// same snapshot; LaneMigrations is the run's delta of lane-pinned kernel
+	// chunks that missed their designated pool worker (tensor.LaneMigrations).
+	// Schedule-dependent observability: they vary with Workers/NoAffine/
+	// resume state and are deliberately absent from the record CSV/JSON
+	// payloads, which must stay byte-identical across execution knobs.
+	WarmRestores, ColdRestores int64
+	LaneMigrations             uint64
 }
 
 // Run executes the campaign: a golden reference run with a prefix snapshot
@@ -675,6 +696,10 @@ func (c *Campaign) Report(w io.Writer) {
 	if c.ExperimentsAdopted > 0 || c.EarlyExits > 0 || c.ConvergedTails > 0 {
 		fmt.Fprintf(w, "  equivalence: %d adopted (dedup), %d early exits, %d converged tails, %d iters synthesized\n",
 			c.ExperimentsAdopted, c.EarlyExits, c.ConvergedTails, c.IterationsSynthesized)
+	}
+	if c.WarmRestores+c.ColdRestores > 0 {
+		fmt.Fprintf(w, "  locality: %d warm / %d cold snapshot restores, %d lane migrations\n",
+			c.WarmRestores, c.ColdRestores, c.LaneMigrations)
 	}
 	if c.Cfg.DeviceFaults {
 		var q, rj, di, cr int

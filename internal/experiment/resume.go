@@ -23,12 +23,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/tensor"
 	"repro/internal/train"
 )
 
@@ -36,10 +38,12 @@ import (
 // determine its Records bit for bit: workload identity and length,
 // experiment count, seed, horizon, injection window, and bias settings.
 // Execution knobs (Workers, SnapshotStride, SnapshotMemBudget, NoPool,
-// ScrubWorkspaces, DeviceParallel, SweepDetect) are deliberately excluded
-// — campaigns are
+// ScrubWorkspaces, DeviceParallel, SweepDetect, NoAffine — and the
+// process-global tensor knobs such as the L2 pack-tile size set via
+// tensor.SetL2Bytes) are deliberately excluded — campaigns are
 // byte-identical across all of them, so a journal written under one
-// execution configuration may be resumed under any other.
+// execution configuration may be resumed under any other
+// (TestCrossConfigResume).
 func (cfg Config) Fingerprint() string {
 	cfg = cfg.withDefaults()
 	h := fnv.New64a()
@@ -98,6 +102,66 @@ func (cfg Config) EfficiencyBinding() string {
 type Sink interface {
 	Append(idx int, rec Record) error
 	Flush() error
+}
+
+// orderedSink reorders worker-completion appends into a canonical journal
+// sequence before forwarding them to the wrapped sink, making journal bytes
+// a pure function of the campaign configuration — independent of worker
+// count and of dispatch scheduling (snapshot-affine or index-order). The
+// canonical sequence is fixed up front (see Resume); out-of-sequence
+// records buffer until the gap before them fills, and the contiguous
+// prefix releases in order.
+//
+// On cancellation, gap-blocked records are dropped rather than flushed out
+// of order: the resumed campaign re-executes them, and the merged journal
+// ends up in the same canonical order an uninterrupted run writes.
+type orderedSink struct {
+	inner Sink
+
+	mu   sync.Mutex
+	pos  map[int]int // experiment index -> canonical sequence position
+	buf  []*Record   // parked records, slot per sequence position
+	idxs []int
+	next int // first unreleased sequence position
+}
+
+// newOrderedSink wraps inner with the canonical append sequence seq (every
+// index this run may append, in release order).
+func newOrderedSink(inner Sink, seq []int) *orderedSink {
+	pos := make(map[int]int, len(seq))
+	for p, idx := range seq {
+		pos[idx] = p
+	}
+	return &orderedSink{inner: inner, pos: pos,
+		buf: make([]*Record, len(seq)), idxs: make([]int, len(seq))}
+}
+
+// Append implements Sink.
+func (s *orderedSink) Append(idx int, rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pos[idx]
+	if !ok {
+		return fmt.Errorf("experiment: record %d is not in the campaign's append sequence", idx)
+	}
+	s.buf[p] = &rec
+	s.idxs[p] = idx
+	for s.next < len(s.buf) && s.buf[s.next] != nil {
+		if err := s.inner.Append(s.idxs[s.next], *s.buf[s.next]); err != nil {
+			return err
+		}
+		s.buf[s.next] = nil
+		s.next++
+	}
+	return nil
+}
+
+// Flush implements Sink. Only the released contiguous prefix is durable;
+// gap-blocked records (possible only after cancellation) are dropped.
+func (s *orderedSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Flush()
 }
 
 // RunOptions extends a campaign run with durability and observability.
@@ -198,6 +262,43 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 	if cfg.Dedup {
 		plan = newDedupPlan(g, injections)
 	}
+
+	// The journal's canonical append sequence, fixed before anything runs:
+	// first the adoptees of already-journaled owners (synthesized up front,
+	// in owner order), then every pending owner in ascending index order,
+	// each followed by its pending adoptees. This is exactly the order a
+	// single-worker index-order run appends naturally; orderedSink holds
+	// multi-worker and snapshot-affine runs to the same byte sequence.
+	sink := opts.Sink
+	if sink != nil {
+		var seq []int
+		if plan != nil {
+			for i := range completed {
+				if completed[i] && plan.owner[i] == i {
+					for _, j := range plan.adoptees[i] {
+						if !completed[j] {
+							seq = append(seq, j)
+						}
+					}
+				}
+			}
+		}
+		for i := range completed {
+			if completed[i] || (plan != nil && plan.owner[i] != i) {
+				continue
+			}
+			seq = append(seq, i)
+			if plan != nil {
+				for _, j := range plan.adoptees[i] {
+					if !completed[j] {
+						seq = append(seq, j)
+					}
+				}
+			}
+		}
+		sink = newOrderedSink(sink, seq)
+	}
+
 	adoptFrom := func(wk, ownerIdx int) error {
 		if plan == nil {
 			return nil
@@ -210,8 +311,8 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 			c.Records[j] = rec
 			completed[j] = true
 			opts.Stats.ExperimentAdopted(wk, rec.Outcome)
-			if opts.Sink != nil {
-				if err := opts.Sink.Append(j, rec); err != nil {
+			if sink != nil {
+				if err := sink.Append(j, rec); err != nil {
 					return fmt.Errorf("experiment: journaling adopted record %d: %w", j, err)
 				}
 			}
@@ -232,17 +333,44 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 		}
 	}
 
+	// The dispatch order. Pending owners are collected in index order and —
+	// unless NoAffine — stably regrouped by the golden snapshot boundary
+	// they fork from, so consecutive dispatches to one worker usually
+	// Restore the snapshot already resident in its caches (warm restores).
+	// Scheduling is invisible in results: every experiment is a pure
+	// function of its own injection and the immutable Golden, and the
+	// orderedSink above fixes the journal byte order independently of it.
+	forkBoundOf := func(i int) int {
+		iter := 0
+		if cfg.DeviceFaults {
+			if iter = deviceFaults[i].Iteration - 1; iter < 0 {
+				iter = 0
+			}
+		} else {
+			iter = injections[i].Iteration
+		}
+		b, _ := g.nearest(iter)
+		return b
+	}
+	var order []int
+	for i := range completed {
+		if !completed[i] && (plan == nil || plan.owner[i] == i) {
+			order = append(order, i)
+		}
+	}
+	if !cfg.NoAffine {
+		bounds := make(map[int]int, len(order))
+		for _, i := range order {
+			bounds[i] = forkBoundOf(i)
+		}
+		sort.SliceStable(order, func(a, b int) bool { return bounds[order[a]] < bounds[order[b]] })
+	}
+
 	// Never run more workers than there are experiments left to dispatch
 	// (adoptees never dispatch): each worker pre-builds a pooled engine,
 	// which is pure waste past that point.
-	pending := 0
-	for i := range completed {
-		if !completed[i] && (plan == nil || plan.owner[i] == i) {
-			pending++
-		}
-	}
-	if workers > pending {
-		workers = pending
+	if workers > len(order) {
+		workers = len(order)
 	}
 
 	// Fixed worker pool over a shared index channel (see RunWithGolden for
@@ -259,6 +387,8 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 		cancel()
 	}
 	var executed, skipped int64
+	var warmRestores, coldRestores int64
+	lmStart := tensor.LaneMigrations()
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
@@ -269,8 +399,24 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 			if !cfg.NoPool {
 				pooled = g.w.NewEngine(rng.Seed{State: uint64(cfg.Seed), Stream: 77})
 				pooled.SetDeviceParallel(cfg.DeviceParallel)
+				// Pin the engine's kernel chunks to a per-worker pool lane so
+				// its chunk→worker (and chunk→cache) mapping is stable across
+				// the experiments it runs. Lane 0 means unpinned, hence wk+1.
+				pooled.PinLane(wk + 1)
 			}
+			prevBound := -1
 			for i := range idxCh {
+				if pooled != nil {
+					b := forkBoundOf(i)
+					if warm := b == prevBound; warm {
+						atomic.AddInt64(&warmRestores, 1)
+						opts.Stats.EngineRestore(true)
+					} else {
+						atomic.AddInt64(&coldRestores, 1)
+						opts.Stats.EngineRestore(false)
+					}
+					prevBound = b
+				}
 				var rec Record
 				var start, done, synth, checks int
 				if cfg.DeviceFaults {
@@ -288,8 +434,8 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 				}
 				opts.Stats.ExperimentDone(wk, rec.Outcome, start, done, checks)
 				opts.Stats.GroupMitigation(rec.Quarantines, rec.Rejoins, rec.DegradedIters, rec.CommRetries)
-				if opts.Sink != nil {
-					if err := opts.Sink.Append(i, rec); err != nil {
+				if sink != nil {
+					if err := sink.Append(i, rec); err != nil {
 						failSink(fmt.Errorf("experiment: journaling record %d: %w", i, err))
 						return
 					}
@@ -309,15 +455,9 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 		}(wk)
 	}
 feed:
-	for i := range completed {
-		// Adoptees are never dispatched — their owner's worker synthesizes
-		// them (checked before completed[i], which that worker writes).
-		if plan != nil && plan.owner[i] != i {
-			continue
-		}
-		if completed[i] {
-			continue
-		}
+	// order already excludes completed records and adoptees (their owner's
+	// worker synthesizes them).
+	for _, i := range order {
 		select {
 		case idxCh <- i:
 		case <-runCtx.Done():
@@ -326,14 +466,18 @@ feed:
 	}
 	close(idxCh)
 	wg.Wait()
-	if opts.Sink != nil {
-		if err := opts.Sink.Flush(); err != nil {
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
 			failSink(fmt.Errorf("experiment: flushing sink: %w", err))
 		}
 	}
 	c.IterationsExecuted = executed
 	c.IterationsSkipped = skipped
 	c.IterationsSynthesized = synthd
+	c.WarmRestores = warmRestores
+	c.ColdRestores = coldRestores
+	c.LaneMigrations = tensor.LaneMigrations() - lmStart
+	opts.Stats.AddLaneMigrations(int64(c.LaneMigrations))
 	for i := range c.Records {
 		if !completed[i] {
 			continue

@@ -183,7 +183,8 @@ func TestFingerprintSensitivity(t *testing.T) {
 	exec.SnapshotStride = -1
 	exec.NoPool = true
 	exec.SweepDetect = true
+	exec.NoAffine = true
 	if exec.Fingerprint() != fp {
-		t.Fatal("fingerprint must not depend on execution knobs (Workers/SnapshotStride/NoPool/SweepDetect)")
+		t.Fatal("fingerprint must not depend on execution knobs (Workers/SnapshotStride/NoPool/SweepDetect/NoAffine)")
 	}
 }

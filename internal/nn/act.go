@@ -14,10 +14,21 @@ type ReLU struct {
 
 	outAbsMax  float32
 	outStatsOK bool
+
+	// ws backs the per-call output and input-gradient tensors: activations
+	// dominate the training loop's allocation volume, and reusing steady
+	// buffers keeps campaign workers off the allocator. Both consumers fully
+	// overwrite their buffer (the masked branch writes explicit zeros), so
+	// scrubbed/stale contents can never leak into results.
+	ws *tensor.Workspace
 }
 
 // NewReLU creates a ReLU layer.
-func NewReLU() *ReLU { return allocReLU() }
+func NewReLU() *ReLU {
+	r := allocReLU()
+	r.ws = newWorkspace()
+	return r
+}
 
 // Name implements Layer.
 func (r *ReLU) Name() string { return "relu" }
@@ -25,13 +36,19 @@ func (r *ReLU) Name() string { return "relu" }
 // Params implements Layer.
 func (r *ReLU) Params() []*Param { return nil }
 
+// Workspace implements WorkspaceHolder.
+func (r *ReLU) Workspace() *tensor.Workspace { return r.ws }
+
 // Forward implements Layer. With Context.CollectStats, the copy loop also
 // tracks the output abs-max: only copied positives can contribute (masked
 // elements are 0, whose abs-bits never win the maximum), so the running max
 // equals a post-hoc sweep of the output. A NaN input is masked to 0 by the
 // `v > 0` test, exactly as in the sweep.
 func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(x.Shape...)
+	// Workspace buffer, not a fresh allocation: the else branches must write
+	// explicit zeros (a fresh tensor got them implicitly) because the buffer
+	// carries the previous call's values.
+	out := r.ws.Get(wsFwdKey(ctx), x.Shape...)
 	if cap(r.lastMask) < x.Len() {
 		r.lastMask = make([]bool, x.Len())
 	}
@@ -45,6 +62,7 @@ func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 				r.lastMask[i] = true
 				trk.Observe(v)
 			} else {
+				out.Data[i] = 0
 				r.lastMask[i] = false
 			}
 		}
@@ -54,11 +72,16 @@ func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 				out.Data[i] = v
 				r.lastMask[i] = true
 			} else {
+				out.Data[i] = 0
 				r.lastMask[i] = false
 			}
 		}
 	}
 	r.outAbsMax, r.outStatsOK = trk.Value(), collect
+	// Every element was just rewritten, so any prior out-of-band mutation of
+	// the reused buffer is gone; restore the clean-tensor semantics a fresh
+	// allocation had.
+	out.ClearDirty()
 	return out
 }
 
@@ -67,12 +90,15 @@ func (r *ReLU) OutAbsMax() (float32, bool) { return r.outAbsMax, r.outStatsOK }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.New(gradOut.Shape...)
+	gradIn := r.ws.Get("dx", gradOut.Shape...)
 	for i, pass := range r.lastMask {
 		if pass {
 			gradIn.Data[i] = gradOut.Data[i]
+		} else {
+			gradIn.Data[i] = 0
 		}
 	}
+	gradIn.ClearDirty()
 	return gradIn
 }
 

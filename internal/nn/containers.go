@@ -14,13 +14,21 @@ type Residual struct {
 	name   string
 	Branch []Layer
 
+	// ws backs the skip-add output and input-gradient tensors; both are
+	// produced by a full copy of one operand before the in-place add, so the
+	// reused buffers are always completely overwritten.
+	ws *tensor.Workspace
+
 	params []*Param
 }
 
 // NewResidual creates a residual block around the given branch layers.
 func NewResidual(name string, branch ...Layer) *Residual {
-	return &Residual{name: name, Branch: branch}
+	return &Residual{name: name, Branch: branch, ws: newWorkspace()}
 }
+
+// Workspace implements WorkspaceHolder.
+func (r *Residual) Workspace() *tensor.Workspace { return r.ws }
 
 // Name implements Layer.
 func (r *Residual) Name() string { return r.name }
@@ -50,8 +58,10 @@ func (r *Residual) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	if !y.SameShape(x) {
 		panic(fmt.Sprintf("nn: residual branch %s changed shape %v -> %v", r.name, x.Shape, y.Shape))
 	}
-	out := y.Clone()
+	out := r.ws.Get(wsFwdKey(ctx), y.Shape...)
+	copy(out.Data, y.Data)
 	out.AddInPlace(x)
+	out.ClearDirty()
 	return out
 }
 
@@ -65,8 +75,10 @@ func (r *Residual) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		grad = r.Branch[i].Backward(grad)
 	}
 	// Skip path contributes gradOut directly.
-	total := grad.Clone()
+	total := r.ws.Get("dx", grad.Shape...)
+	copy(total.Data, grad.Data)
 	total.AddInPlace(gradOut)
+	total.ClearDirty()
 	return total
 }
 

@@ -50,6 +50,12 @@ type BatchNorm struct {
 	outAbsMax  float32
 	outStatsOK bool
 
+	// ws backs out/xhat/gradIn. The normalize and backward loops fully
+	// overwrite their buffers on every call, so reuse is invisible to
+	// results; keys are split by train/eval mode because the training shard
+	// and the test batch alternate shapes.
+	ws *tensor.Workspace
+
 	params []*Param
 }
 
@@ -64,6 +70,7 @@ func NewBatchNorm(name string, c int, momentum float32) *BatchNorm {
 		Eps:        1e-5,
 		MovingMean: arenaNew(c),
 		MovingVar:  arenaNew(c),
+		ws:         newWorkspace(),
 	}
 	bn.Gamma.Value.Fill(1)
 	bn.MovingVar.Fill(1)
@@ -84,6 +91,9 @@ func (bn *BatchNorm) Params() []*Param {
 
 // Channels returns the number of normalized channels.
 func (bn *BatchNorm) Channels() int { return bn.Gamma.Value.Len() }
+
+// Workspace implements WorkspaceHolder.
+func (bn *BatchNorm) Workspace() *tensor.Workspace { return bn.ws }
 
 // to4D views x as NCHW; [B,F] becomes [B,F,1,1].
 func (bn *BatchNorm) to4D(x *tensor.Tensor) *tensor.Tensor {
@@ -137,8 +147,12 @@ func (bn *BatchNorm) Forward(ctx *Context, xIn *tensor.Tensor) *tensor.Tensor {
 	}
 	bn.lastMean, bn.lastVar = mean, variance
 
-	out := tensor.New(x.Shape...)
-	xhat := tensor.New(x.Shape...)
+	okey, xkey := "out.eval", "xhat.eval"
+	if ctx == nil || ctx.Training {
+		okey, xkey = "out.train", "xhat.train"
+	}
+	out := bn.ws.Get(okey, x.Shape...)
+	xhat := bn.ws.Get(xkey, x.Shape...)
 	spatial := h * w
 	collect := ctx != nil && ctx.CollectStats
 	var trk tensor.AbsMaxTracker
@@ -165,6 +179,9 @@ func (bn *BatchNorm) Forward(ctx *Context, xIn *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	bn.outAbsMax, bn.outStatsOK = trk.Value(), collect
+	// The normalize loop rewrote every element of both reused buffers.
+	out.ClearDirty()
+	xhat.ClearDirty()
 	bn.lastXhat = xhat
 	if bn.was2D {
 		return out.Reshape(n, c)
@@ -194,7 +211,7 @@ func (bn *BatchNorm) Backward(gradOutIn *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := bn.lastShape[0], bn.lastShape[1], bn.lastShape[2], bn.lastShape[3]
 	spatial := h * w
 	count := float32(n * spatial)
-	gradIn := tensor.New(bn.lastShape...)
+	gradIn := bn.ws.Get("dx", bn.lastShape...)
 	for ch := 0; ch < c; ch++ {
 		invStd := 1 / float32(math.Sqrt(float64(bn.lastVar[ch]+bn.Eps)))
 		var sumDy, sumDyXhat float32
@@ -220,6 +237,8 @@ func (bn *BatchNorm) Backward(gradOutIn *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
+	// Every element of the reused buffer was rewritten by the channel loops.
+	gradIn.ClearDirty()
 	if bn.was2D {
 		return gradIn.Reshape(n, c)
 	}

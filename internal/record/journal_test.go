@@ -1,6 +1,7 @@
 package record
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -144,6 +145,53 @@ func TestJournalResumeEquivalence(t *testing.T) {
 		}
 		if len(full) != cfg.Experiments {
 			t.Fatalf("K=%d: finished journal holds %d records, want %d", k, len(full), cfg.Experiments)
+		}
+	}
+}
+
+// TestJournalBytesSchedulingInvariant is the on-disk half of the
+// scheduling exactness proof: the journal file a campaign writes must be
+// byte-for-byte identical across snapshot-affine and index-order dispatch
+// and across worker counts. The header binds no execution knobs and the
+// campaign releases appends through a canonical sequence, so any byte
+// difference here is a determinism regression.
+func TestJournalBytesSchedulingInvariant(t *testing.T) {
+	cfg := journalTestConfig(t)
+	g := experiment.PrepareGolden(cfg)
+	digest := g.Ref().Digest()
+
+	writeJournal := func(noAffine bool, workers int) []byte {
+		t.Helper()
+		c := cfg
+		c.NoAffine = noAffine
+		c.Workers = workers
+		path := filepath.Join(t.TempDir(), "run.jsonl")
+		j, err := CreateJournal(path, c, digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := experiment.Resume(c, experiment.RunOptions{Golden: g, Sink: j}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	want := writeJournal(true, 1) // index-order, single worker: the canonical order
+	for _, v := range []struct {
+		noAffine bool
+		workers  int
+	}{{false, 1}, {false, 2}, {false, 3}, {true, 2}} {
+		got := writeJournal(v.noAffine, v.workers)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("journal bytes differ for noAffine=%v workers=%d (%d vs %d bytes)",
+				v.noAffine, v.workers, len(got), len(want))
 		}
 	}
 }

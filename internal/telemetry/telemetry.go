@@ -81,6 +81,15 @@ type CampaignStats struct {
 	degradedIters atomic.Int64
 	commRetries   atomic.Int64
 
+	// Locality of the campaign scheduler (see experiment.Config.NoAffine):
+	// pooled-engine snapshot restores split by whether the worker's previous
+	// experiment forked from the same golden snapshot (warm) or a different
+	// one (cold), plus kernel chunks that missed their pinned pool lane.
+	// Schedule-dependent observability only — results never depend on them.
+	warmRestores   atomic.Int64
+	coldRestores   atomic.Int64
+	laneMigrations atomic.Int64
+
 	workers []workerCounter
 }
 
@@ -190,6 +199,32 @@ func (s *CampaignStats) GroupMitigation(quarantines, rejoins, degradedIters, com
 	}
 }
 
+// EngineRestore records one pooled-engine snapshot restore: warm when the
+// worker's previous experiment forked from the same golden snapshot (the
+// snapshot bytes and the engine's working set are still cache-resident),
+// cold otherwise. Snapshot-affine scheduling exists to maximize the warm
+// share; this counter pair is how the effect is observed.
+func (s *CampaignStats) EngineRestore(warm bool) {
+	if s == nil {
+		return
+	}
+	if warm {
+		s.warmRestores.Add(1)
+	} else {
+		s.coldRestores.Add(1)
+	}
+}
+
+// AddLaneMigrations accumulates pinned kernel chunks that overflowed their
+// designated pool-lane queue and ran off-lane (tensor.LaneMigrations,
+// reported by the campaign as a before/after delta).
+func (s *CampaignStats) AddLaneMigrations(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.laneMigrations.Add(n)
+}
+
 // JournalAppend records one record appended to the write-ahead journal.
 func (s *CampaignStats) JournalAppend() {
 	if s == nil {
@@ -260,6 +295,13 @@ type Snapshot struct {
 	EarlyExits       int64 `json:"early_exits"`
 	ConvergedTails   int64 `json:"converged_tails"`
 	ItersSynthesized int64 `json:"iters_synthesized"`
+	// WarmRestores / ColdRestores split pooled-engine snapshot restores by
+	// whether the worker's previous experiment used the same golden
+	// snapshot; LaneMigrations counts lane-pinned kernel chunks that ran
+	// off their designated pool worker. Scheduling observability only.
+	WarmRestores   int64 `json:"warm_restores"`
+	ColdRestores   int64 `json:"cold_restores"`
+	LaneMigrations int64 `json:"lane_migrations"`
 }
 
 // Snapshot derives the current point-in-time view.
@@ -288,6 +330,9 @@ func (s *CampaignStats) Snapshot() Snapshot {
 		Rejoins:        s.rejoins.Load(),
 		DegradedIters:  s.degradedIters.Load(),
 		CommRetries:    s.commRetries.Load(),
+		WarmRestores:   s.warmRestores.Load(),
+		ColdRestores:   s.coldRestores.Load(),
+		LaneMigrations: s.laneMigrations.Load(),
 
 		DedupAdopted:     s.adopted.Load(),
 		EarlyExits:       s.earlyExits.Load(),

@@ -1,0 +1,136 @@
+// L2 cache sizing for the packed-GEMM tiling level.
+//
+// The bf16 panel-packing pass (pack.go) pre-rounds the whole B operand into
+// a scratch buffer the kernels then stream once per 4-row block. When that
+// panel is larger than the core's L2, every pass re-reads it from L3/DRAM —
+// the classic BLAS motivation for Kc/Nc cache blocking. The helpers here
+// detect the per-core L2 size from sysfs (overridable with SetL2Bytes, the
+// campaign binary's -l2-bytes flag) and derive the pack-tile geometry that
+// keeps the active tile resident: roughly half of L2 for the rounded panel
+// tile, the rest left for the A rows and C rows in flight.
+//
+// Tiling only re-orders which (k, j) addends are *packed* together; every B
+// element is still rounded exactly once and every output element receives
+// its addends in ascending-k order (the tile loops iterate k-tiles in
+// ascending order for each column tile), so results are bitwise-identical
+// to the full-panel path — the equivalence tests in pack_test.go pin it.
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// defaultL2Bytes is the fallback when sysfs detection fails: 2 MiB, a
+// common per-core L2 size on current server parts and a safe (conservative)
+// tile budget on smaller ones.
+const defaultL2Bytes = 2 << 20
+
+// l2Bytes caches the effective L2 size; 0 means not yet detected.
+var l2Bytes atomic.Int64
+
+// L2Bytes returns the effective per-core L2 cache size used to size pack
+// tiles: the SetL2Bytes override if one is set, otherwise the size detected
+// from /sys/devices/system/cpu/cpu0/cache, otherwise defaultL2Bytes.
+func L2Bytes() int {
+	if v := l2Bytes.Load(); v > 0 {
+		return int(v)
+	}
+	l2Bytes.CompareAndSwap(0, detectL2Bytes())
+	return int(l2Bytes.Load())
+}
+
+// SetL2Bytes overrides the L2 size used for pack tiling and returns the
+// previous effective value. n <= 0 reverts to sysfs autodetection. Like
+// SetWorkers, it is process-global and must not be changed while kernels
+// are running; results are bitwise-independent of it.
+func SetL2Bytes(n int) int {
+	old := L2Bytes()
+	if n <= 0 {
+		l2Bytes.Store(0)
+	} else {
+		l2Bytes.Store(int64(n))
+	}
+	return old
+}
+
+// detectL2Bytes scans cpu0's cache hierarchy for a level-2 data or unified
+// cache and parses its size ("2048K", "1M", ...).
+func detectL2Bytes() int64 {
+	for idx := 0; idx < 10; idx++ {
+		dir := fmt.Sprintf("/sys/devices/system/cpu/cpu0/cache/index%d", idx)
+		lvl, err := os.ReadFile(dir + "/level")
+		if err != nil {
+			continue
+		}
+		if strings.TrimSpace(string(lvl)) != "2" {
+			continue
+		}
+		if typ, err := os.ReadFile(dir + "/type"); err == nil &&
+			strings.TrimSpace(string(typ)) == "Instruction" {
+			continue
+		}
+		sz, err := os.ReadFile(dir + "/size")
+		if err != nil {
+			continue
+		}
+		if n := parseCacheSize(strings.TrimSpace(string(sz))); n > 0 {
+			return n
+		}
+	}
+	return defaultL2Bytes
+}
+
+// parseCacheSize parses sysfs cache sizes like "2048K", "1M", "512".
+func parseCacheSize(s string) int64 {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n * mult
+}
+
+// minTileElems floors the tile size so tiny L2 overrides cannot degrade the
+// kernels into per-row packing (the pack pass must stay amortized).
+const minTileElems = 4 << 10
+
+// packTileElems returns the pack-tile budget in float32 elements: half the
+// L2 for the rounded tile, leaving room for the A/C rows in flight.
+func packTileElems() int {
+	e := L2Bytes() / 2 / 4
+	if e < minTileElems {
+		e = minTileElems
+	}
+	return e
+}
+
+// tileDims splits a [k, n] panel into Kc×Nc tiles fitting the pack budget:
+// full rows when they fit (pure Kc blocking, the common case), otherwise
+// column blocks of the budget width.
+func tileDims(k, n int) (kt, nt int) {
+	te := packTileElems()
+	nt = n
+	if nt > te {
+		nt = te
+	}
+	kt = te / nt
+	if kt < 1 {
+		kt = 1
+	}
+	if kt > k {
+		kt = k
+	}
+	return kt, nt
+}

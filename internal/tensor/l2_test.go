@@ -1,0 +1,66 @@
+package tensor
+
+import "testing"
+
+func TestParseCacheSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"2048K", 2048 << 10},
+		{"1M", 1 << 20},
+		{"1G", 1 << 30},
+		{"512", 512},
+		{"0", 0},
+		{"-4K", 0},
+		{"junk", 0},
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := parseCacheSize(c.in); got != c.want {
+			t.Errorf("parseCacheSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSetL2BytesRoundTrip(t *testing.T) {
+	orig := L2Bytes()
+	if orig <= 0 {
+		t.Fatalf("L2Bytes() = %d, want positive (override, sysfs, or fallback)", orig)
+	}
+	old := SetL2Bytes(12345)
+	if old != orig {
+		t.Fatalf("SetL2Bytes returned %d, want previous effective value %d", old, orig)
+	}
+	if got := L2Bytes(); got != 12345 {
+		t.Fatalf("L2Bytes after override = %d, want 12345", got)
+	}
+	if prev := SetL2Bytes(orig); prev != 12345 {
+		t.Fatalf("SetL2Bytes returned %d, want 12345", prev)
+	}
+}
+
+// TestTileDims pins the tile geometry at the minimum budget (te = 4096
+// elements): full-row Kc blocking when rows fit, Nc column blocking when a
+// single row overflows, and no splitting at all for panels under budget.
+func TestTileDims(t *testing.T) {
+	defer SetL2Bytes(SetL2Bytes(1))
+	if got := packTileElems(); got != minTileElems {
+		t.Fatalf("packTileElems with 1-byte L2 = %d, want floor %d", got, minTileElems)
+	}
+	cases := []struct {
+		k, n, wantKt, wantNt int
+	}{
+		{72, 72, 56, 72},   // Kc blocking: 4096/72 = 56 full rows per tile
+		{2, 4100, 1, 4096}, // Nc blocking: one over-budget row splits columns
+		{10, 10, 10, 10},   // under budget: one tile covers the panel
+		{1, 1, 1, 1},
+	}
+	for _, c := range cases {
+		kt, nt := tileDims(c.k, c.n)
+		if kt != c.wantKt || nt != c.wantNt {
+			t.Errorf("tileDims(%d, %d) = (%d, %d), want (%d, %d)",
+				c.k, c.n, kt, nt, c.wantKt, c.wantNt)
+		}
+	}
+}

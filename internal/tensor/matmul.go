@@ -78,6 +78,43 @@ func runParallel(m, flops int) bool {
 	return w > 1 && flops >= parallelFlops
 }
 
+// packedTiles drives the Kc/Nc cache-blocked packing sweep over a [k,n]
+// panel too large for the L2 tile budget: for each column tile (ascending
+// j0) it packs and multiplies the k-tiles in ascending k0 order, so every
+// output element still receives its addends in ascending-k order and every
+// B element is rounded exactly once — bitwise-identical to the full-panel
+// pass by construction. pack rounds one tile into the shared buffer; kern
+// computes rows [lo,hi) of that tile's contribution.
+func packedTiles(lane uint32, m, k, n, flops int,
+	pack func(rb []float32, k0, kt, j0, jt int),
+	kern func(rb []float32, k0, kt, j0, jt, lo, hi int)) {
+	kc, ncw := tileDims(k, n)
+	rp := getPackBuf(kc * ncw)
+	rb := *rp
+	par := runParallel(m, flops)
+	for j0 := 0; j0 < n; j0 += ncw {
+		jt := ncw
+		if j0+jt > n {
+			jt = n - j0
+		}
+		for k0 := 0; k0 < k; k0 += kc {
+			kt := kc
+			if k0+kt > k {
+				kt = k - k0
+			}
+			pack(rb, k0, kt, j0, jt)
+			if !par {
+				kern(rb, k0, kt, j0, jt, 0, m)
+			} else {
+				parallelRows(lane, m, flops, func(lo, hi int) {
+					kern(rb, k0, kt, j0, jt, lo, hi)
+				})
+			}
+		}
+	}
+	putPackBuf(rp)
+}
+
 // MatMul computes C = A × B for 2-D tensors A [m,k] and B [k,n] in FP32.
 func MatMul(a, b *Tensor) *Tensor {
 	m, _, n := checkMatMul(a, b)
@@ -104,14 +141,24 @@ func MatMulInto(dst, a, b *Tensor, mixed bool) *Tensor {
 	dst.ClearDirty()
 	ad, bd, cd := a.Data, b.Data, dst.Data
 	if usePacked(mixed, m) {
+		if k*n > packTileElems() {
+			packedTiles(dst.lane, m, k, n, m*k*n,
+				func(rb []float32, k0, kt, j0, jt int) {
+					packPanelTile(rb, bd, n, k0, kt, j0, jt)
+				},
+				func(rb []float32, k0, kt, j0, jt, lo, hi int) {
+					gemmNNPacked(cd, ad, rb, k, k0, kt, n, j0, jt, lo, hi)
+				})
+			return dst
+		}
 		rp := getPackBuf(len(bd))
 		rb := *rp
 		roundPanelBF16(rb, bd)
 		if !runParallel(m, m*k*n) {
-			gemmNNPacked(cd, ad, rb, k, n, 0, m)
+			gemmNNPacked(cd, ad, rb, k, 0, k, n, 0, n, 0, m)
 		} else {
-			parallelRows(m, m*k*n, func(lo, hi int) {
-				gemmNNPacked(cd, ad, rb, k, n, lo, hi)
+			parallelRows(dst.lane, m, m*k*n, func(lo, hi int) {
+				gemmNNPacked(cd, ad, rb, k, 0, k, n, 0, n, lo, hi)
 			})
 		}
 		putPackBuf(rp)
@@ -121,7 +168,7 @@ func MatMulInto(dst, a, b *Tensor, mixed bool) *Tensor {
 		gemmNN(cd, ad, bd, k, n, mixed, 0, m)
 		return dst
 	}
-	parallelRows(m, m*k*n, func(lo, hi int) {
+	parallelRows(dst.lane, m, m*k*n, func(lo, hi int) {
 		gemmNN(cd, ad, bd, k, n, mixed, lo, hi)
 	})
 	return dst
@@ -144,14 +191,24 @@ func MatMulTAInto(dst, a, b *Tensor, mixed bool) *Tensor {
 	dst.ClearDirty()
 	ad, bd, cd := a.Data, b.Data, dst.Data
 	if usePacked(mixed, m) {
+		if k*n > packTileElems() {
+			packedTiles(dst.lane, m, k, n, m*k*n,
+				func(rb []float32, k0, kt, j0, jt int) {
+					packPanelTile(rb, bd, n, k0, kt, j0, jt)
+				},
+				func(rb []float32, k0, kt, j0, jt, lo, hi int) {
+					gemmTAPacked(cd, ad, rb, k0, kt, m, n, j0, jt, lo, hi)
+				})
+			return dst
+		}
 		rp := getPackBuf(len(bd))
 		rb := *rp
 		roundPanelBF16(rb, bd)
 		if !runParallel(m, m*k*n) {
-			gemmTAPacked(cd, ad, rb, k, m, n, 0, m)
+			gemmTAPacked(cd, ad, rb, 0, k, m, n, 0, n, 0, m)
 		} else {
-			parallelRows(m, m*k*n, func(lo, hi int) {
-				gemmTAPacked(cd, ad, rb, k, m, n, lo, hi)
+			parallelRows(dst.lane, m, m*k*n, func(lo, hi int) {
+				gemmTAPacked(cd, ad, rb, 0, k, m, n, 0, n, lo, hi)
 			})
 		}
 		putPackBuf(rp)
@@ -161,7 +218,7 @@ func MatMulTAInto(dst, a, b *Tensor, mixed bool) *Tensor {
 		gemmTA(cd, ad, bd, k, m, n, mixed, 0, m)
 		return dst
 	}
-	parallelRows(m, m*k*n, func(lo, hi int) {
+	parallelRows(dst.lane, m, m*k*n, func(lo, hi int) {
 		gemmTA(cd, ad, bd, k, m, n, mixed, lo, hi)
 	})
 	return dst
@@ -181,14 +238,28 @@ func MatMulTBInto(dst, a, b *Tensor, mixed bool) *Tensor {
 	dst.ClearDirty()
 	ad, bd, cd := a.Data, b.Data, dst.Data
 	if usePacked(mixed, m) {
+		// The packed TB kernel seeds its accumulators from C so ascending
+		// k-tiles extend one per-element chain; starting from zero keeps the
+		// op sequence identical to the old local accumulator.
+		zero(cd)
+		if k*n > packTileElems() {
+			packedTiles(dst.lane, m, k, n, m*k*n,
+				func(rb []float32, k0, kt, j0, jt int) {
+					packPanelTileTB(rb, bd, k, k0, kt, j0, jt)
+				},
+				func(rb []float32, k0, kt, j0, jt, lo, hi int) {
+					gemmTBPacked(cd, ad, rb, k, k0, kt, n, j0, jt, lo, hi)
+				})
+			return dst
+		}
 		rp := getPackBuf(len(bd))
 		rb := *rp
 		roundPanelBF16(rb, bd)
 		if !runParallel(m, m*k*n) {
-			gemmTBPacked(cd, ad, rb, k, n, 0, m)
+			gemmTBPacked(cd, ad, rb, k, 0, k, n, 0, n, 0, m)
 		} else {
-			parallelRows(m, m*k*n, func(lo, hi int) {
-				gemmTBPacked(cd, ad, rb, k, n, lo, hi)
+			parallelRows(dst.lane, m, m*k*n, func(lo, hi int) {
+				gemmTBPacked(cd, ad, rb, k, 0, k, n, 0, n, lo, hi)
 			})
 		}
 		putPackBuf(rp)
@@ -198,7 +269,7 @@ func MatMulTBInto(dst, a, b *Tensor, mixed bool) *Tensor {
 		gemmTB(cd, ad, bd, k, n, mixed, 0, m)
 		return dst
 	}
-	parallelRows(m, m*k*n, func(lo, hi int) {
+	parallelRows(dst.lane, m, m*k*n, func(lo, hi int) {
 		gemmTB(cd, ad, bd, k, n, mixed, lo, hi)
 	})
 	return dst

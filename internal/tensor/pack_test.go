@@ -132,6 +132,64 @@ func TestPackedEpBitwise(t *testing.T) {
 	}
 }
 
+// TestTiledPackingBitwise pins the L2 cache-blocking level: forcing a tiny
+// pack-tile budget (so k·n exceeds it and the mixed kernels take the Kc×Nc
+// tiled path) must give bitwise-identical results to the full-panel path
+// and to the unpacked scalar kernels, for every transpose variant and
+// worker count. Shapes cover pure-Kc blocking, odd tile remainders, and
+// column (Nc) blocking.
+func TestTiledPackingBitwise(t *testing.T) {
+	shapes := [][3]int{
+		{9, 72, 72},   // pure Kc blocking: rows fit the budget, k splits 56+16
+		{17, 23, 301}, // odd remainders in both tile dimensions
+		{3, 2, 4100},  // Nc blocking: columns split 4096+4 with kt=1
+	}
+	r := rng.NewFromInt(45)
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		at := Transpose2D(a)
+		bt := Transpose2D(b)
+
+		// Ground truth: unpacked scalar kernels, serial.
+		restore := withPacking(false)
+		oldW := SetWorkers(1)
+		wantNN := MatMulMixed(a, b)
+		wantTA := MatMulTA(at, b, true)
+		wantTB := MatMulTB(a, bt, true)
+		SetWorkers(oldW)
+		restore()
+
+		// Sanity: the minimum budget actually forces tiling for this shape.
+		oldL2 := SetL2Bytes(1)
+		tiled := k*n > packTileElems()
+		SetL2Bytes(oldL2)
+		if !tiled {
+			t.Fatalf("m=%d k=%d n=%d: shape does not exceed the minimum tile budget", m, k, n)
+		}
+
+		for _, l2 := range []int{1, 1 << 30} { // forced-tiled vs full-panel
+			for _, w := range []int{1, 4} {
+				old := SetL2Bytes(l2)
+				restoreP := withPacking(true)
+				restoreW := forceParallel(w)
+				gotNN := MatMulMixed(a, b)
+				gotTA := MatMulTA(at, b, true)
+				gotTB := MatMulTB(a, bt, true)
+				restoreW()
+				restoreP()
+				SetL2Bytes(old)
+
+				tag := fmt.Sprintf("m=%d k=%d n=%d l2=%d w=%d", m, k, n, l2, w)
+				bitsEqual(t, "tiled NN "+tag, gotNN, wantNN)
+				bitsEqual(t, "tiled TA "+tag, gotTA, wantTA)
+				bitsEqual(t, "tiled TB "+tag, gotTB, wantTB)
+			}
+		}
+	}
+}
+
 // TestPackedZeroSkipRule pins the skip rule on the packed path: the zero
 // test reads the RAW A element, before bf16 rounding — a subnormal that
 // rounds to zero in bf16 must still contribute (rounded) products, exactly

@@ -1,18 +1,36 @@
-// Persistent kernel worker pool.
+// Persistent kernel worker pool with lane-pinned, claim-based dispatch.
 //
 // Every parallel kernel in this package (matmul row chunks, AbsMax/MinMax
 // reductions, bias rows) used to spawn fresh goroutines per call. At
 // campaign scale — thousands of GEMMs per training iteration across many
 // concurrent experiment workers — the per-call spawn cost and scheduler
-// churn add up. The pool here replaces the fan-out with long-lived workers,
-// one buffered run queue per worker (a channel receive doubles as the
-// park/unpark doorbell), and a round-robin dispatch cursor so consecutive
-// dispatches land on distinct workers.
+// churn add up. The pool here replaces the fan-out with long-lived workers
+// and one buffered run queue per worker (a channel receive doubles as the
+// park/unpark doorbell).
+//
+// Dispatch is claim-based: every chunk of a dispatch carries an index into a
+// shared claim bitmask, the caller enqueues chunks 1..nc-1 without blocking
+// (a full queue runs the chunk inline instead), runs chunk 0 itself, and
+// then *steals* unstarted chunks back in reverse order. Whoever wins the
+// atomic claim — queue worker or caller — executes the chunk exactly once.
+// On a loaded or single-core host the caller therefore finishes the whole
+// dispatch inline with zero context switches (the stale queued tasks are
+// skipped when a worker eventually drains them), which is what makes the
+// pool at least as fast as the legacy spawn path on every host shape.
+//
+// Lane pinning gives an engine a stable chunk→worker mapping: a dispatch
+// with lane L>0 always enqueues chunk c on worker (L-1+c) mod pool size,
+// instead of the round-robin cursor. Chunk boundaries are unchanged, so the
+// only effect is that chunk i of an engine's GEMMs lands on the same worker
+// — and therefore the same core's cache — iteration after iteration. The
+// lane rides on destination tensors (Workspace.SetLane stamps every buffer
+// it hands out); LaneMigrations counts pinned chunks that could not be
+// delivered to their designated worker (queue overflow → inline run).
 //
 // Scheduling is irrelevant to results: chunks own disjoint index ranges
-// (the determinism contract in matmul.go), so which worker executes a chunk
-// — or whether the legacy spawn path runs it — cannot change a single bit
-// of any kernel's output. SetUsePool keeps the legacy per-call spawn
+// (the determinism contract in matmul.go), so which goroutine executes a
+// chunk — or whether the legacy spawn path runs it — cannot change a single
+// bit of any kernel's output. SetUsePool keeps the legacy per-call spawn
 // reachable for benchmarking the difference (bench_kernel.sh).
 //
 // Nesting is impossible by construction: chunk bodies are leaf kernel loops
@@ -21,28 +39,61 @@
 package tensor
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// kernelTask is one contiguous chunk of a parallel kernel dispatch.
-type kernelTask struct {
-	body           func(worker, lo, hi int)
-	worker, lo, hi int
-	wg             *sync.WaitGroup
+// kernelDispatch is the shared state of one parallel kernel dispatch: the
+// chunk geometry, the claim bitmask, and the completion group for chunks
+// 1..nc-1 (chunk 0 always runs on the caller). It is heap-allocated fresh
+// per dispatch and never recycled: stale tasks referencing it may sit in
+// worker queues after the dispatch completes, and reuse would let them
+// corrupt a later dispatch's claims.
+type kernelDispatch struct {
+	body     func(worker, lo, hi int)
+	n, chunk int
+	claimed  atomic.Uint64
+	wg       sync.WaitGroup
 }
 
-// poolQueueDepth is each worker's run-queue capacity. Dispatchers block on
-// a full queue, which only happens when many engines hammer few workers —
-// at that point the cores are saturated and blocking is the right behavior.
+// run executes chunk c if the caller wins the claim; a lost claim means the
+// chunk already ran (or is running) elsewhere and the task is stale.
+func (d *kernelDispatch) run(c int) {
+	bit := uint64(1) << uint(c)
+	if d.claimed.Or(bit)&bit != 0 {
+		return
+	}
+	lo := c * d.chunk
+	hi := lo + d.chunk
+	if hi > d.n {
+		hi = d.n
+	}
+	d.body(c, lo, hi)
+	d.wg.Done()
+}
+
+// kernelTask points a queue worker at one chunk of a dispatch.
+type kernelTask struct {
+	d *kernelDispatch
+	c int
+}
+
+// poolQueueDepth is each worker's run-queue capacity. Dispatchers never
+// block on a full queue: the chunk runs inline instead (and counts as a
+// lane migration when the dispatch was pinned).
 const poolQueueDepth = 8
 
+// maxChunks bounds the chunks of one dispatch to the claim bitmask width.
+const maxChunks = 64
+
 var (
-	poolMu     sync.Mutex   // guards pool growth and shutdown
-	poolQs     atomic.Value // of []chan kernelTask: per-worker run queues
-	poolQuit   chan struct{}
-	poolCursor atomic.Uint32 // round-robin dispatch cursor
-	poolSpawn  atomic.Bool   // true = legacy per-call goroutine fan-out
+	poolMu         sync.Mutex   // guards pool growth and shutdown
+	poolQs         atomic.Value // of []chan kernelTask: per-worker run queues
+	poolQuit       chan struct{}
+	poolCursor     atomic.Uint32 // round-robin dispatch cursor for unpinned work
+	poolSpawn      atomic.Bool   // true = legacy per-call goroutine fan-out
+	laneMigrations atomic.Uint64 // pinned chunks that overflowed their lane queue
 )
 
 // SetUsePool selects between the persistent worker pool (true, the default)
@@ -57,6 +108,12 @@ func SetUsePool(on bool) bool {
 
 // UsePool reports whether parallel kernels dispatch to the persistent pool.
 func UsePool() bool { return !poolSpawn.Load() }
+
+// LaneMigrations returns the cumulative count of lane-pinned chunks that
+// could not be delivered to their designated pool worker (the lane queue
+// was full, so the chunk ran inline off-lane). Process-global, like the
+// pool itself; campaign reports read it as a before/after delta.
+func LaneMigrations() uint64 { return laneMigrations.Load() }
 
 // PoolWorkers returns the number of live pool workers (0 until the first
 // pooled dispatch, and again after ClosePool).
@@ -92,13 +149,13 @@ func poolQueues(n int) []chan kernelTask {
 }
 
 // poolWorker parks on its run queue (the doorbell) and executes chunks
-// until the pool is closed.
+// until the pool is closed. Stale tasks — chunks the dispatching caller
+// already stole back — lose the claim inside run and cost one atomic.
 func poolWorker(q chan kernelTask, quit chan struct{}) {
 	for {
 		select {
 		case t := <-q:
-			t.body(t.worker, t.lo, t.hi)
-			t.wg.Done()
+			t.d.run(t.c)
 		case <-quit:
 			return
 		}
@@ -129,8 +186,20 @@ func ClosePool() {
 // the chunk index, so kernels with disjoint writes stay single-writer and
 // per-chunk reductions are exact partials.
 func parallelInto(w, n int, body func(worker, lo, hi int)) int {
+	return parallelLaneInto(0, w, n, body)
+}
+
+// parallelLaneInto is parallelInto with a lane hint: lane 0 dispatches
+// round-robin, lane L>0 enqueues chunk c on worker (L-1+c) mod pool size so
+// repeated dispatches from the same engine keep a stable chunk→worker (and
+// therefore chunk→cache) mapping. The lane affects placement only — chunk
+// geometry and results are bitwise-independent of it.
+func parallelLaneInto(lane uint32, w, n int, body func(worker, lo, hi int)) int {
 	if w > n {
 		w = n
+	}
+	if w > maxChunks {
+		w = maxChunks
 	}
 	if w <= 1 {
 		body(0, 0, n)
@@ -142,9 +211,9 @@ func parallelInto(w, n int, body func(worker, lo, hi int)) int {
 		body(0, 0, n)
 		return 1
 	}
-	var wg sync.WaitGroup
-	wg.Add(nc - 1)
 	if poolSpawn.Load() {
+		var wg sync.WaitGroup
+		wg.Add(nc - 1)
 		for c := 1; c < nc; c++ {
 			lo := c * chunk
 			hi := lo + chunk
@@ -156,28 +225,59 @@ func parallelInto(w, n int, body func(worker, lo, hi int)) int {
 				body(c, lo, hi)
 			}(c, lo, hi)
 		}
-	} else {
-		qs := poolQueues(nc - 1)
-		base := poolCursor.Add(uint32(nc - 1))
-		for c := 1; c < nc; c++ {
+		body(0, 0, chunk)
+		wg.Wait()
+		return nc
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		// A single-P runtime can never execute a chunk concurrently with the
+		// caller: enqueuing would only wake workers to find stolen tasks.
+		// Run the chunks inline — same chunk geometry, same body calls, so
+		// results (and returned chunk count) are bitwise-identical.
+		for c := 0; c < nc; c++ {
 			lo := c * chunk
 			hi := lo + chunk
 			if hi > n {
 				hi = n
 			}
-			qs[(base+uint32(c))%uint32(len(qs))] <- kernelTask{body: body, worker: c, lo: lo, hi: hi, wg: &wg}
+			body(c, lo, hi)
+		}
+		return nc
+	}
+	qs := poolQueues(nc - 1)
+	var base uint32
+	if lane != 0 {
+		base = lane - 1
+	} else {
+		base = poolCursor.Add(uint32(nc - 1))
+	}
+	d := &kernelDispatch{body: body, n: n, chunk: chunk}
+	d.claimed.Store(1) // chunk 0 is the caller's, never claimable
+	d.wg.Add(nc - 1)
+	for c := 1; c < nc; c++ {
+		select {
+		case qs[(base+uint32(c))%uint32(len(qs))] <- kernelTask{d: d, c: c}:
+		default:
+			if lane != 0 {
+				laneMigrations.Add(1)
+			}
+			d.run(c)
 		}
 	}
 	body(0, 0, chunk)
-	wg.Wait()
+	for c := nc - 1; c >= 1; c-- {
+		d.run(c)
+	}
+	d.wg.Wait()
 	return nc
 }
 
 // parallelRows partitions [0, m) into at most matmulWorkers contiguous
-// chunks and runs body on each through the persistent pool. Row ranges are
-// disjoint, so each output element is produced by exactly one goroutine;
-// chunk boundaries never change accumulation order within a row.
-func parallelRows(m, flops int, body func(lo, hi int)) {
+// chunks and runs body on each through the persistent pool, pinned to lane
+// when nonzero. Row ranges are disjoint, so each output element is produced
+// by exactly one goroutine; chunk boundaries never change accumulation
+// order within a row.
+func parallelRows(lane uint32, m, flops int, body func(lo, hi int)) {
 	w := matmulWorkers
 	if w > m {
 		w = m
@@ -186,5 +286,5 @@ func parallelRows(m, flops int, body func(lo, hi int)) {
 		body(0, m)
 		return
 	}
-	parallelInto(w, m, func(_, lo, hi int) { body(lo, hi) })
+	parallelLaneInto(lane, w, m, func(_, lo, hi int) { body(lo, hi) })
 }

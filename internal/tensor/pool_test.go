@@ -50,6 +50,9 @@ func forcePool(n int) (restore func()) {
 }
 
 func TestPoolCloseNoLeak(t *testing.T) {
+	// A single-P runtime takes the inline fast path and never spawns
+	// workers; force two Ps so the dispatch path under test actually runs.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
 	defer forcePool(4)()
 	base := runtime.NumGoroutine()
 
@@ -114,6 +117,42 @@ func TestPoolVsSpawnGEMMBitwise(t *testing.T) {
 			bitsEqual(t, "pool vs spawn TA "+tag, ta, taS)
 			bitsEqual(t, "pool vs spawn TB "+tag, tb, tbS)
 		}
+	}
+}
+
+// TestLanePinnedGEMMBitwise pins the lane contract: a lane only moves
+// chunks between pool workers, so a GEMM into a lane-stamped workspace
+// buffer must be bitwise-identical to the serial result for every lane —
+// including lane 0 (unpinned) and lanes past the pool size (which wrap) —
+// and the workspace must stamp its lane onto every buffer it hands out.
+func TestLanePinnedGEMMBitwise(t *testing.T) {
+	// A single-P runtime runs everything inline; force two Ps so the
+	// lane-pinned dispatch path actually runs.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	r := rng.NewFromInt(35)
+	a, b := randMat(r, 33, 24), randMat(r, 24, 18)
+
+	oldW := SetWorkers(1)
+	want := MatMul(a, b)
+	wantMixed := MatMulMixed(a, b)
+	SetWorkers(oldW)
+
+	for _, lane := range []int{0, 1, 3, 9} {
+		ws := NewWorkspace()
+		ws.SetLane(lane)
+		restore := forcePool(4)
+		dst := ws.Get("c", 33, 18)
+		if dst.Lane() != lane {
+			t.Fatalf("workspace lane %d not stamped onto buffer: got %d", lane, dst.Lane())
+		}
+		MatMulInto(dst, a, b, false)
+		dstM := ws.Get("cm", 33, 18)
+		MatMulInto(dstM, a, b, true)
+		restore()
+
+		tag := fmt.Sprintf("lane=%d", lane)
+		bitsEqual(t, "lane-pinned fp32 "+tag, dst, want)
+		bitsEqual(t, "lane-pinned mixed "+tag, dstM, wantMixed)
 	}
 }
 

@@ -463,7 +463,7 @@ func MatMulIntoEp(dst, a, b *Tensor, mixed bool, ep *Epilogue) *Tensor {
 				hi = m
 			}
 			if rb != nil {
-				gemmNNPacked(cd, ad, rb, k, n, lo, hi)
+				gemmNNPacked(cd, ad, rb, k, 0, k, n, 0, n, lo, hi)
 			} else {
 				gemmNN(cd, ad, bd, k, n, mixed, lo, hi)
 			}
@@ -471,11 +471,11 @@ func MatMulIntoEp(dst, a, b *Tensor, mixed bool, ep *Epilogue) *Tensor {
 		}
 	} else {
 		if rb != nil {
-			parallelRows(m, m*k*n, func(lo, hi int) {
-				gemmNNPacked(cd, ad, rb, k, n, lo, hi)
+			parallelRows(dst.lane, m, m*k*n, func(lo, hi int) {
+				gemmNNPacked(cd, ad, rb, k, 0, k, n, 0, n, lo, hi)
 			})
 		} else {
-			parallelRows(m, m*k*n, func(lo, hi int) {
+			parallelRows(dst.lane, m, m*k*n, func(lo, hi int) {
 				gemmNN(cd, ad, bd, k, n, mixed, lo, hi)
 			})
 		}

@@ -39,7 +39,24 @@ type Tensor struct {
 	Data  []float32
 
 	dirty bool
+
+	// lane is the preferred pool-lane offset (0 = unpinned) for parallel
+	// kernels writing this tensor; Workspace.Get stamps it from the owning
+	// workspace's lane. Placement hint only: results never depend on it.
+	lane uint32
 }
+
+// SetLane sets the tensor's preferred pool lane (0 unpins). Lane pinning is
+// a cache-placement hint for the kernel pool; it cannot change results.
+func (t *Tensor) SetLane(l int) {
+	if l < 0 {
+		l = 0
+	}
+	t.lane = uint32(l)
+}
+
+// Lane returns the tensor's preferred pool lane (0 = unpinned).
+func (t *Tensor) Lane() int { return int(t.lane) }
 
 // MarkDirty records an out-of-band mutation (fault injection, restore);
 // cached reductions over t are no longer trustworthy.
@@ -287,6 +304,39 @@ func Im2ColInto(cols, in *Tensor, p ConvParams) *Tensor {
 			for kw := 0; kw < p.KW; kw++ {
 				row := (ch*p.KH+kh)*p.KW + kw
 				dst := cols.Data[row*colW : (row+1)*colW]
+				if p.Stride == 1 {
+					// Stride-1 fast path: for a fixed (kh, kw) the in-bounds
+					// ox span is a single contiguous run, so the row becomes
+					// zero edges plus one memmove of the same values the
+					// scalar loop writes — bitwise-identical by construction.
+					lo := p.Padding - kw
+					if lo < 0 {
+						lo = 0
+					}
+					hi := w + p.Padding - kw
+					if hi > ow {
+						hi = ow
+					}
+					for b := 0; b < n; b++ {
+						for oy := 0; oy < oh; oy++ {
+							iy := oy + kh - p.Padding
+							seg := dst[(b*oh+oy)*ow : (b*oh+oy)*ow+ow]
+							if iy < 0 || iy >= h || lo >= hi {
+								zero(seg)
+								continue
+							}
+							for x := 0; x < lo; x++ {
+								seg[x] = 0
+							}
+							base := ((b*c+ch)*h + iy) * w
+							copy(seg[lo:hi], in.Data[base+lo+kw-p.Padding:base+hi+kw-p.Padding])
+							for x := hi; x < ow; x++ {
+								seg[x] = 0
+							}
+						}
+					}
+					continue
+				}
 				for b := 0; b < n; b++ {
 					for oy := 0; oy < oh; oy++ {
 						iy := oy*p.Stride + kh - p.Padding
@@ -325,6 +375,39 @@ func Col2ImInto(out, cols *Tensor, p ConvParams) *Tensor {
 			for kw := 0; kw < p.KW; kw++ {
 				row := (ch*p.KH+kh)*p.KW + kw
 				src := cols.Data[row*colW : (row+1)*colW]
+				if p.Stride == 1 {
+					// Stride-1 fast path, mirroring Im2ColInto: the in-bounds
+					// ox span is one contiguous run, so the inner loop is a
+					// branch-free vector add. Iteration order over (ox, iy)
+					// is unchanged, so each output element receives exactly
+					// the same addends in the same order as the scalar loop.
+					lo := p.Padding - kw
+					if lo < 0 {
+						lo = 0
+					}
+					hi := w + p.Padding - kw
+					if hi > ow {
+						hi = ow
+					}
+					if lo >= hi {
+						continue
+					}
+					for b := 0; b < n; b++ {
+						for oy := 0; oy < oh; oy++ {
+							iy := oy + kh - p.Padding
+							if iy < 0 || iy >= h {
+								continue
+							}
+							srow := src[(b*oh+oy)*ow+lo : (b*oh+oy)*ow+hi]
+							base := ((b*c+ch)*h+iy)*w + lo + kw - p.Padding
+							drow := out.Data[base : base+hi-lo]
+							for x, v := range srow {
+								drow[x] += v
+							}
+						}
+					}
+					continue
+				}
 				for b := 0; b < n; b++ {
 					for oy := 0; oy < oh; oy++ {
 						iy := oy*p.Stride + kh - p.Padding

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -318,6 +319,97 @@ func TestConv2DBackwardNumerical(t *testing.T) {
 		if math.Abs(numeric-float64(gradK.Data[idx])) > 1e-2 {
 			t.Errorf("gradK[%d] = %v, numeric %v", idx, gradK.Data[idx], numeric)
 		}
+	}
+}
+
+// scalarIm2Col / scalarCol2Im replicate the generic per-element loops the
+// stride-1 fast paths replace, as the bitwise reference for them.
+func scalarIm2Col(in *Tensor, p ConvParams) *Tensor {
+	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := p.OutSize(h, w)
+	cols := New(c*p.KH*p.KW, n*oh*ow)
+	colW := n * oh * ow
+	for ch := 0; ch < c; ch++ {
+		for kh := 0; kh < p.KH; kh++ {
+			for kw := 0; kw < p.KW; kw++ {
+				dst := cols.Data[((ch*p.KH+kh)*p.KW+kw)*colW:]
+				for b := 0; b < n; b++ {
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*p.Stride + kh - p.Padding
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*p.Stride + kw - p.Padding
+							var v float32
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								v = in.Data[((b*c+ch)*h+iy)*w+ix]
+							}
+							dst[(b*oh+oy)*ow+ox] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+func scalarCol2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
+	out := New(n, c, h, w)
+	oh, ow := p.OutSize(h, w)
+	colW := n * oh * ow
+	for ch := 0; ch < c; ch++ {
+		for kh := 0; kh < p.KH; kh++ {
+			for kw := 0; kw < p.KW; kw++ {
+				src := cols.Data[((ch*p.KH+kh)*p.KW+kw)*colW:]
+				for b := 0; b < n; b++ {
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*p.Stride + kh - p.Padding
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*p.Stride + kw - p.Padding
+							if ix < 0 || ix >= w {
+								continue
+							}
+							out.Data[((b*c+ch)*h+iy)*w+ix] += src[(b*oh+oy)*ow+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestIm2ColStride1FastPathBitwise pins the stride-1 row-copy fast path
+// (and its Col2Im adjoint) against the generic per-element loops, across
+// geometries that stress the edge spans: padding wider than the kernel
+// offset, kernels wider than the padded input, asymmetric H/W, and 1×1
+// kernels with padding (empty in-bounds spans for the outer taps).
+func TestIm2ColStride1FastPathBitwise(t *testing.T) {
+	r := rng.NewFromInt(15)
+	cases := []struct {
+		n, c, h, w int
+		p          ConvParams
+	}{
+		{2, 3, 5, 5, ConvParams{KH: 3, KW: 3, Stride: 1, Padding: 1}},
+		{1, 2, 4, 7, ConvParams{KH: 3, KW: 3, Stride: 1, Padding: 2}},
+		{1, 1, 3, 3, ConvParams{KH: 5, KW: 5, Stride: 1, Padding: 2}},
+		{1, 2, 6, 2, ConvParams{KH: 1, KW: 1, Stride: 1, Padding: 1}},
+		{1, 1, 1, 1, ConvParams{KH: 3, KW: 3, Stride: 1, Padding: 1}},
+	}
+	for _, tc := range cases {
+		in := New(tc.n, tc.c, tc.h, tc.w)
+		in.FillNormal(r, 0, 1)
+		want := scalarIm2Col(in, tc.p)
+		got := Im2Col(in, tc.p)
+		bitsEqual(t, fmt.Sprintf("Im2Col %dx%dx%dx%d %+v", tc.n, tc.c, tc.h, tc.w, tc.p), got, want)
+
+		y := New(want.Shape...)
+		y.FillNormal(r, 0, 1)
+		wantIm := scalarCol2Im(y, tc.n, tc.c, tc.h, tc.w, tc.p)
+		gotIm := Col2Im(y, tc.n, tc.c, tc.h, tc.w, tc.p)
+		bitsEqual(t, fmt.Sprintf("Col2Im %dx%dx%dx%d %+v", tc.n, tc.c, tc.h, tc.w, tc.p), gotIm, wantIm)
 	}
 }
 

@@ -135,6 +135,23 @@ type Workspace struct {
 	// whose element count alternates (training shard vs full test batch)
 	// must not grow the arena every swing.
 	arena *Arena
+	// lane is stamped onto every tensor Get hands out, so parallel kernels
+	// writing workspace buffers dispatch to the owning engine's pinned pool
+	// lane (0 = unpinned). See Tensor.SetLane.
+	lane uint32
+}
+
+// SetLane sets the pool lane stamped onto buffers this workspace hands out
+// (0 unpins). Engines propagate their lane here so every kernel they run
+// keeps a stable chunk→worker mapping.
+func (ws *Workspace) SetLane(l int) {
+	if ws == nil {
+		return
+	}
+	if l < 0 {
+		l = 0
+	}
+	ws.lane = uint32(l)
 }
 
 // NewWorkspace creates an empty arena. The key map is created lazily on
@@ -187,6 +204,7 @@ func (ws *Workspace) Get(key string, shape ...int) *Tensor {
 			ws.bufs = make(map[string]*Tensor)
 		}
 		t = ws.arena.New(shape...) // nil arena → heap
+		t.lane = ws.lane
 		ws.bufs[key] = t
 		return t
 	}
@@ -194,10 +212,12 @@ func (ws *Workspace) Get(key string, shape ...int) *Tensor {
 		// Shape-change reallocation: always from the heap (see the arena
 		// field comment).
 		t = New(shape...)
+		t.lane = ws.lane
 		ws.bufs[key] = t
 		return t
 	}
 	t.Shape = append(t.Shape[:0], shape...)
+	t.lane = ws.lane
 	return t
 }
 

@@ -280,6 +280,17 @@ func (e *Engine) ScrubWorkspaces() {
 	}
 }
 
+// PinLane stamps lane onto every replica workspace so the engine's parallel
+// kernels keep a stable chunk→pool-worker mapping across iterations (see
+// nn.Sequential.PinLane). A placement hint only: results are bitwise-
+// independent of the lane. Campaign workers pin their pooled engine to a
+// per-worker lane so consecutive experiments reuse warm caches.
+func (e *Engine) PinLane(lane int) {
+	for _, m := range e.replicas {
+		m.PinLane(lane)
+	}
+}
+
 // SetDeviceParallel selects whether RunIteration steps the devices on
 // separate goroutines (true) or sequentially (false, the default). The two
 // modes are bitwise-identical: each device touches only its own replica,

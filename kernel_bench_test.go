@@ -251,6 +251,49 @@ func BenchmarkKernel_GEMMMixedScalar(b *testing.B) {
 	}
 }
 
+// benchTiledGEMM returns a C = A×Bᵀ GEMM whose rounded B panel (2048×512
+// floats, 4 MiB) is twice the default 2 MiB L2 budget. The TB kernel is
+// the shape class where full-panel packing hurts most: it makes one pass
+// over the whole panel per single output row (the NN/TA kernels amortize a
+// pass over a 4-row block), so an over-L2 panel is re-streamed from L3/DRAM
+// m times — Kc×Nc tiling instead keeps the active tile resident across all
+// m rows. This is the backward-pass dX = dY×Wᵀ pattern for wide layers.
+func benchTiledGEMM() (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor) {
+	r := rng.NewFromInt(34)
+	a := tensor.New(64, 512)
+	bt := tensor.New(2048, 512)
+	a.FillNormal(r, 0, 1)
+	bt.FillNormal(r, 0, 1)
+	return tensor.New(64, 2048), a, bt
+}
+
+// BenchmarkKernel_GEMMMixedL2Tiled: the over-L2 bf16 GEMM under Kc×Nc
+// cache blocking with the tile budget pinned to 2 MiB (the default
+// fallback), so the leg measures the same geometry on every host. Bitwise
+// identical to the full-panel leg (TestTiledPackingBitwise).
+func BenchmarkKernel_GEMMMixedL2Tiled(b *testing.B) {
+	dst, x, y := benchTiledGEMM()
+	defer tensor.SetL2Bytes(tensor.SetL2Bytes(2 << 20))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulTBInto(dst, x, y, true)
+	}
+}
+
+// BenchmarkKernel_GEMMMixedFullPanel: the same GEMM with an effectively
+// unbounded tile budget, i.e. the pre-tiling behavior of packing the whole
+// B panel and streaming all 4 MiB of it once per output row.
+func BenchmarkKernel_GEMMMixedFullPanel(b *testing.B) {
+	dst, x, y := benchTiledGEMM()
+	defer tensor.SetL2Bytes(tensor.SetL2Bytes(1 << 30))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulTBInto(dst, x, y, true)
+	}
+}
+
 // BenchmarkKernel_TrainStepMixed is the headline tentpole leg: a full
 // bf16-GEMM training iteration with the persistent pool and panel packing
 // on (the defaults).
