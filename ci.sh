@@ -1,11 +1,14 @@
 #!/bin/sh
 # Repository CI gate: formatting, vet, package-doc drift, build, full tests,
 # race-detector runs of the packages with concurrency (the parallel GEMM
-# kernels, the device-parallel trainer, and the campaign worker pool),
-# fuzz smokes of the journal parser/repairer, a graceful SIGINT
-# kill-and-resume smoke, and a SIGKILL crash loop that repeatedly murders a
-# device-fault campaign mid-write and requires -resume -repair-journal to
-# converge to the byte-identical reference.
+# kernels, the device-parallel trainer, the campaign worker pool, and the
+# distributed coordinator/worker protocol), fuzz smokes of the journal
+# parser/repairer, a graceful SIGINT kill-and-resume smoke, a SIGKILL crash
+# loop that repeatedly murders a device-fault campaign mid-write and
+# requires -resume -repair-journal to converge to the byte-identical
+# reference, and a campaignd smoke that runs a sharded campaign through a
+# real coordinator + two worker processes on loopback and cmps the merged
+# journal against the single-process one.
 #
 # Usage: ./ci.sh
 set -eu
@@ -52,7 +55,13 @@ echo "== fused-mitigation equivalence under -race (epilogue stats == sweeps, ala
 go test -race ./internal/detect ./internal/baseline
 
 echo "== campaign equivalence under -race (forked+pooled == cold, resume == uninterrupted, byte for byte) =="
-go test -race ./internal/experiment ./internal/record ./internal/telemetry
+# The experiment package runs ~11 min under the race detector on this
+# shared box (the shard-partition proof pushed it past go test's default
+# 10-minute per-package timeout).
+go test -race -timeout 30m ./internal/experiment ./internal/record ./internal/telemetry
+
+echo "== distributed campaign under -race (1/2/4 workers over HTTP, killed worker reassigned, merged journal byte-identical) =="
+go test -race ./internal/dist
 
 echo "== kill-and-resume smoke (SIGINT mid-campaign, -resume must reproduce the reference byte for byte) =="
 tmp=$(mktemp -d)
@@ -90,6 +99,36 @@ sed -n '/^workload /,/unexpected-total/p' "$tmp/exhaustive.txt" >"$tmp/exhaustiv
 sed -n '/^workload /,/unexpected-total/p' "$tmp/fastpath.txt" >"$tmp/fastpath.tally"
 cmp "$tmp/exhaustive.tally" "$tmp/fastpath.tally"
 grep -q "equivalence:" "$tmp/fastpath.txt" # the fast paths actually fired
+
+echo "== campaignd smoke (coordinator + 2 worker processes on loopback, merged journal must equal the single-process one) =="
+go build -o "$tmp/campaignd" ./cmd/campaignd
+"$tmp/campaign" -workload resnet -n 24 -iters 12 -seed 9 \
+	-journal "$tmp/dist-ref.jsonl" >/dev/null
+"$tmp/campaignd" -addr 127.0.0.1:0 -addr-file "$tmp/campaignd.addr" \
+	-data "$tmp/campaignd-data" -lease-ttl 5s >/dev/null 2>&1 &
+dpid=$!
+trap 'kill "$dpid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+tries=0
+while [ ! -s "$tmp/campaignd.addr" ] && [ "$tries" -lt 50 ]; do
+	tries=$((tries + 1))
+	sleep 0.1
+done
+daddr=$(cat "$tmp/campaignd.addr")
+cid=$(curl -sf -X POST "http://$daddr/campaigns" \
+	-d '{"workload":"resnet","experiments":24,"iters":12,"seed":9,"shard_size":5}' |
+	sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$cid" ]
+"$tmp/campaign" -worker "http://$daddr" -worker-id ci-w1 -worker-drain >/dev/null &
+w1=$!
+"$tmp/campaign" -worker "http://$daddr" -worker-id ci-w2 -worker-drain >/dev/null &
+w2=$!
+wait "$w1"
+wait "$w2"
+curl -sf "http://$daddr/campaigns/$cid/status" | grep -q '"state":"done"'
+curl -sf "http://$daddr/campaigns/$cid/journal" -o "$tmp/dist-merged.jsonl"
+cmp "$tmp/dist-ref.jsonl" "$tmp/dist-merged.jsonl"
+kill -INT "$dpid" 2>/dev/null || true
+wait "$dpid" || true
 
 echo "== journal fuzz smoke (parser must not panic, repairer must converge) =="
 go test -run '^$' -fuzz 'FuzzParseJournal' -fuzztime 3s ./internal/record

@@ -9,6 +9,14 @@
 // an interrupted journal byte-identically to an uninterrupted run, and
 // -status-addr serves live progress (/status JSON, expvar, pprof).
 //
+// With -worker the binary instead attaches to a campaignd coordinator as
+// a distributed-campaign worker: it polls for shard leases, runs each
+// shard through the same campaign machinery (forked-golden snapshots and
+// the dedup/early-exit fast paths included), and uploads the shard's
+// journal lines. Campaign parameters then come from the coordinator's
+// leases, so the local campaign-shaping flags (-workload, -n, -seed, ...)
+// are ignored and the journal/report flags are rejected.
+//
 // Usage:
 //
 //	campaign -workload resnet -n 200
@@ -16,6 +24,7 @@
 //	campaign -workload resnet -n 5000 -journal run.jsonl -status-addr :6070
 //	# ... ^C, crash, or OOM ...
 //	campaign -workload resnet -n 5000 -journal run.jsonl -resume
+//	campaign -worker http://127.0.0.1:8080 -worker-drain
 package main
 
 import (
@@ -28,12 +37,11 @@ import (
 	"runtime"
 	"sort"
 	"syscall"
-
-	"strings"
+	"time"
 
 	"repro/internal/accel"
+	"repro/internal/dist"
 	"repro/internal/experiment"
-	"repro/internal/fault"
 	"repro/internal/outcome"
 	"repro/internal/record"
 	"repro/internal/telemetry"
@@ -69,13 +77,27 @@ func main() {
 		scrubWS    = flag.Bool("scrub-workspaces", false, "NaN-poison pooled engines' kernel scratch buffers between experiments (exact; debugging invariant check for scratch-state leaks)")
 		affine     = flag.Bool("affine", true, "snapshot-affine scheduling: group experiments by the golden snapshot they fork from so pooled workers restore cache-resident snapshots (exact; results and journal bytes are identical either way)")
 		l2Bytes    = flag.Int64("l2-bytes", 0, "GEMM pack-tile budget in bytes, normally the per-core L2 size (0 = sysfs autodetect with a 2 MiB fallback; exact — tiling never changes results)")
+
+		worker      = flag.String("worker", "", "attach to this campaignd coordinator URL (e.g. http://127.0.0.1:8080) as a distributed-campaign worker instead of running a local campaign; campaign parameters come from the coordinator's leases")
+		workerID    = flag.String("worker-id", "", "with -worker: worker identity shown in campaignd status views (default worker-<pid>)")
+		workerDrain = flag.Bool("worker-drain", false, "with -worker: exit once the coordinator reports every campaign finished, instead of polling for new work")
+		workerPoll  = flag.Duration("worker-poll", 500*time.Millisecond, "with -worker: idle polling interval while no shard is available")
 	)
 	flag.Parse()
+
+	if *worker != "" {
+		// Worker mode runs shards of coordinator-submitted campaigns; local
+		// journals and reports don't exist here, so those flags are a
+		// misunderstanding worth rejecting loudly.
+		if *all || *journal != "" || *resume || *repair || *csvOut != "" || *jsonOut != "" {
+			fatal(fmt.Errorf("-worker runs shards for a campaignd coordinator; it cannot be combined with -all, -journal, -resume, -repair-journal, -csv, or -json (submit the campaign to the coordinator instead)"))
+		}
+	}
 
 	if *journal != "" && *all {
 		fatal(fmt.Errorf("-journal tracks one campaign; it cannot be combined with -all"))
 	}
-	deviceFaultKinds, err := parseDeviceFaultKinds(*devFaults)
+	deviceFaultKinds, err := dist.ParseDeviceFaultKinds(*devFaults)
 	if err != nil {
 		fatal(err)
 	}
@@ -109,6 +131,24 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("telemetry: http://%s/status\n", srv.Addr())
+	}
+
+	if *worker != "" {
+		err := dist.RunWorker(ctx, dist.WorkerOptions{
+			Coordinator: *worker,
+			ID:          *workerID,
+			Drain:       *workerDrain,
+			Poll:        *workerPoll,
+			Output:      os.Stdout,
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Println("worker: interrupted; held leases will expire and be reassigned")
+				os.Exit(130)
+			}
+			fatal(err)
+		}
+		return
 	}
 
 	names := []string{*workload}
@@ -254,24 +294,6 @@ func main() {
 			writeFile(*jsonOut, func(f *os.File) error { return record.WriteCampaignJSON(f, c) })
 		}
 	}
-}
-
-// parseDeviceFaultKinds resolves the -device-faults flag: "" (FF campaign),
-// "all", or a comma-separated subset of the fault.DeviceFaultKind names.
-func parseDeviceFaultKinds(s string) ([]fault.DeviceFaultKind, error) {
-	if s == "" || s == "all" {
-		return nil, nil // nil = sample from all kinds
-	}
-	var kinds []fault.DeviceFaultKind
-	for _, name := range strings.Split(s, ",") {
-		name = strings.TrimSpace(name)
-		k, ok := fault.DeviceFaultKindByName(name)
-		if !ok || k == fault.DeviceFaultNone {
-			return nil, fmt.Errorf("-device-faults: unknown kind %q (want a comma-separated subset of link-sdc,stuck-at,straggler,crash, or \"all\")", name)
-		}
-		kinds = append(kinds, k)
-	}
-	return kinds, nil
 }
 
 // workersFor mirrors the campaign runner's worker-count resolution for the

@@ -1,0 +1,303 @@
+package dist
+
+// Distributed campaign worker: the client side of the campaignd protocol.
+// RunWorker polls the coordinator for shard leases and runs each one
+// through the exact same machinery a local campaign uses —
+// experiment.PrepareGolden once per campaign (cached across that
+// campaign's shards), experiment.Resume with RunOptions.Shard, the
+// dedup/early-exit fast paths untouched — capturing the shard's canonical
+// journal lines in a record.LineBuffer and uploading them on completion.
+// A background goroutine renews the lease at TTL/3; if a renewal is fenced
+// (HTTP 409/410: the lease expired and the shard was re-granted, or the
+// campaign was cancelled) the shard's run is cancelled and its result
+// dropped — the worker moves on rather than double-reporting.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/record"
+	"repro/internal/telemetry"
+)
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://127.0.0.1:8080".
+	Coordinator string
+	// ID is the worker's self-chosen identity shown in lease status views
+	// (default "worker-<pid>").
+	ID string
+	// Drain makes the worker exit cleanly once the coordinator reports
+	// every campaign terminal, instead of polling forever.
+	Drain bool
+	// Poll is the idle polling interval when no shard is available
+	// (default 500ms).
+	Poll time.Duration
+	// Workers sizes the per-shard experiment pool (0 = GOMAXPROCS). Purely
+	// an execution knob; journal bytes are identical across all values.
+	Workers int
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Output receives progress lines (default: discard).
+	Output io.Writer
+
+	// onLease is a test hook observing each granted lease before the shard
+	// runs.
+	onLease func(*Lease)
+}
+
+// errFenced marks a shard whose lease was lost mid-run; the worker drops
+// the shard and continues.
+var errFenced = errors.New("dist: lease fenced")
+
+// RunWorker runs the lease-poll-execute-upload loop until ctx is
+// cancelled, the coordinator drains (with Drain set), or a fatal error
+// (unreachable coordinator, binary drift). A context cancellation mid-
+// shard abandons the lease — the coordinator's sweeper reassigns it.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	if opts.Coordinator == "" {
+		return errors.New("dist: worker needs a coordinator URL")
+	}
+	if opts.ID == "" {
+		opts.ID = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 500 * time.Millisecond
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	if opts.Output == nil {
+		opts.Output = io.Discard
+	}
+	w := &worker{opts: opts, base: strings.TrimRight(opts.Coordinator, "/"), goldens: make(map[string]*goldenEntry)}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var resp LeaseResponse
+		status, body, err := w.post(ctx, "/lease", LeaseRequest{Worker: opts.ID}, &resp)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("dist: leasing from %s: %w", w.base, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("dist: coordinator rejected lease request: HTTP %d: %s", status, body)
+		}
+		if resp.Lease == nil {
+			if resp.Drained && opts.Drain {
+				fmt.Fprintf(opts.Output, "worker %s: coordinator drained, exiting\n", opts.ID)
+				return nil
+			}
+			if !sleepCtx(ctx, opts.Poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if err := w.runShard(ctx, resp.Lease); err != nil {
+			if errors.Is(err, errFenced) {
+				fmt.Fprintf(opts.Output, "worker %s: lease %s[%d,%d) fenced, dropping shard\n",
+					opts.ID, resp.Lease.Campaign, resp.Lease.Lo, resp.Lease.Hi)
+				continue
+			}
+			return err
+		}
+		fmt.Fprintf(opts.Output, "worker %s: completed %s[%d,%d)\n",
+			opts.ID, resp.Lease.Campaign, resp.Lease.Lo, resp.Lease.Hi)
+	}
+}
+
+// worker carries the loop's state: the HTTP client plus a per-campaign
+// golden cache, so a worker running many shards of one campaign prepares
+// the fault-free reference exactly once.
+type worker struct {
+	opts    WorkerOptions
+	base    string
+	goldens map[string]*goldenEntry
+}
+
+type goldenEntry struct {
+	golden *experiment.Golden
+	digest string
+	stats  *telemetry.CampaignStats
+}
+
+// runShard executes one leased shard end to end.
+func (w *worker) runShard(ctx context.Context, l *Lease) error {
+	if w.opts.onLease != nil {
+		w.opts.onLease(l)
+	}
+	if err := ctx.Err(); err != nil {
+		return err // killed right after the grant: abandon, the lease expires
+	}
+	cfg, err := l.Spec.Config()
+	if err != nil {
+		return fmt.Errorf("dist: coordinator sent an unrunnable spec for campaign %s: %w", l.Campaign, err)
+	}
+	cfg.Workers = w.opts.Workers
+	if fp := cfg.Fingerprint(); fp != l.Fingerprint {
+		return fmt.Errorf("dist: campaign %s fingerprint mismatch: coordinator says %s, this worker resolves the spec to %s — coordinator and worker run drifted binaries; upgrade one side", l.Campaign, l.Fingerprint, fp)
+	}
+	entry := w.goldens[l.Campaign]
+	if entry == nil {
+		fmt.Fprintf(w.opts.Output, "worker %s: preparing golden reference for campaign %s (%s)\n", w.opts.ID, l.Campaign, cfg.Workload.Name)
+		g := experiment.PrepareGolden(cfg)
+		entry = &goldenEntry{
+			golden: g,
+			digest: g.Ref().Digest(),
+			stats:  telemetry.NewCampaignStats(cfg.Workload.Name, cfg.Experiments, workersFor(cfg)),
+		}
+		w.goldens[l.Campaign] = entry
+	}
+	if l.GoldenDigest != "" && entry.digest != l.GoldenDigest {
+		return fmt.Errorf("dist: campaign %s golden digest mismatch: campaign established %s, this worker's binary produces %s — numerically different binaries cannot share a campaign", l.Campaign, l.GoldenDigest, entry.digest)
+	}
+	telemetry.Activate(entry.stats)
+
+	// Renew the lease in the background; a fenced renewal cancels the run.
+	shardCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		w.renewLoop(shardCtx, l, cancel)
+	}()
+
+	buf := &record.LineBuffer{}
+	sh := &experiment.Shard{Lo: l.Lo, Hi: l.Hi}
+	_, runErr := experiment.Resume(cfg, experiment.RunOptions{
+		Context: shardCtx, Golden: entry.golden, Sink: buf, Shard: sh, Stats: entry.stats,
+	})
+	cancel(nil)
+	<-renewDone
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) {
+			if ctx.Err() != nil {
+				return ctx.Err() // the worker itself is shutting down
+			}
+			return errFenced // renewal was rejected mid-run
+		}
+		return fmt.Errorf("dist: running campaign %s shard [%d,%d): %w", l.Campaign, l.Lo, l.Hi, runErr)
+	}
+
+	status, body, err := w.post(ctx, "/complete", CompleteRequest{
+		Worker:       w.opts.ID,
+		Campaign:     l.Campaign,
+		Lo:           l.Lo,
+		Hi:           l.Hi,
+		Epoch:        l.Epoch,
+		Fingerprint:  l.Fingerprint,
+		GoldenDigest: entry.digest,
+		Lines:        buf.Lines(),
+	}, nil)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("dist: uploading campaign %s shard [%d,%d): %w", l.Campaign, l.Lo, l.Hi, err)
+	}
+	switch {
+	case status < 300:
+		return nil
+	case status == http.StatusConflict || status == http.StatusGone:
+		return fmt.Errorf("%w: %s", errFenced, body)
+	default:
+		return fmt.Errorf("dist: coordinator rejected campaign %s shard [%d,%d): HTTP %d: %s", l.Campaign, l.Lo, l.Hi, status, body)
+	}
+}
+
+// renewLoop renews l at TTL/3 until ctx ends; a 409/410 response fences
+// the shard's run via cancel. Transient transport errors are retried at
+// the next tick (the TTL absorbs them).
+func (w *worker) renewLoop(ctx context.Context, l *Lease, cancel context.CancelCauseFunc) {
+	ttl := time.Duration(l.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	t := time.NewTicker(ttl / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			status, body, err := w.post(ctx, "/renew", RenewRequest{
+				Worker: w.opts.ID, Campaign: l.Campaign, Lo: l.Lo, Hi: l.Hi, Epoch: l.Epoch,
+			}, nil)
+			if err != nil {
+				continue
+			}
+			if status == http.StatusConflict || status == http.StatusGone {
+				cancel(fmt.Errorf("%w: %s", errFenced, body))
+				return
+			}
+		}
+	}
+}
+
+// post sends one JSON request and decodes the JSON reply into out (when
+// non-nil and the status is 2xx). Returns the HTTP status and, for non-2xx
+// replies, the trimmed error body.
+func (w *worker) post(ctx context.Context, path string, in, out any) (int, string, error) {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return 0, "", fmt.Errorf("encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	if resp.StatusCode >= 300 {
+		return resp.StatusCode, strings.TrimSpace(string(body)), nil
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return resp.StatusCode, "", fmt.Errorf("decoding %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, "", nil
+}
+
+// workersFor mirrors the campaign runner's worker-count resolution for the
+// telemetry ledger's per-worker slots.
+func workersFor(cfg experiment.Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// sleepCtx sleeps for d or until ctx ends; reports whether the full sleep
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

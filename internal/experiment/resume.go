@@ -164,6 +164,40 @@ func (s *orderedSink) Flush() error {
 	return s.inner.Flush()
 }
 
+// Shard restricts a Resume call to a contiguous slice of the campaign's
+// experiment index space — the unit of work a distributed campaign
+// (internal/dist) leases to one worker process. An experiment belongs to
+// the shard when its dedup-owner index lies in [Lo, Hi): without Dedup
+// every experiment owns itself, and with Dedup an adoptee follows its
+// owner into the owner's shard regardless of its own index, so owners and
+// adoptees are always co-located and adoption never crosses a shard
+// boundary. Because owners ascend within every shard exactly as they do in
+// a monolithic run, concatenating the shards' canonical append sequences
+// in shard order reproduces the monolithic sequence byte for byte
+// (TestShardPartitionEquivalence; internal/dist proves the end-to-end
+// journal property over HTTP).
+type Shard struct {
+	// Lo and Hi bound the owner-index range, inclusive-exclusive.
+	Lo, Hi int
+}
+
+// contains reports whether owner index i belongs to the shard. A nil shard
+// contains everything (the monolithic case).
+func (s *Shard) contains(i int) bool {
+	return s == nil || (i >= s.Lo && i < s.Hi)
+}
+
+// validate bounds-checks the shard against the campaign size.
+func (s *Shard) validate(experiments int) error {
+	if s == nil {
+		return nil
+	}
+	if s.Lo < 0 || s.Hi > experiments || s.Lo >= s.Hi {
+		return fmt.Errorf("experiment: shard [%d,%d) is not a non-empty subrange of [0,%d)", s.Lo, s.Hi, experiments)
+	}
+	return nil
+}
+
 // RunOptions extends a campaign run with durability and observability.
 // The zero value reproduces Run's behavior exactly.
 type RunOptions struct {
@@ -185,6 +219,12 @@ type RunOptions struct {
 	// Stats, when non-nil, is updated live from the worker pool
 	// (lock-free; see package telemetry).
 	Stats *telemetry.CampaignStats
+	// Shard, when non-nil, restricts this call to the experiments whose
+	// dedup-owner index lies in [Shard.Lo, Shard.Hi). Records outside the
+	// shard stay zero-valued and are neither executed nor journaled; the
+	// Sink sees exactly the monolithic canonical append sequence restricted
+	// to the shard. Used by distributed campaigns (internal/dist).
+	Shard *Shard
 }
 
 // Resume executes the campaign described by cfg, continuing from any prior
@@ -203,6 +243,9 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := opts.Shard.validate(cfg.Experiments); err != nil {
+		return nil, err
 	}
 	if cfg.DeviceFaults && (cfg.Dedup || cfg.EarlyExit || cfg.ConvergedTail) {
 		// Dedup keys describe one-shot tensor corruptions and the
@@ -262,19 +305,31 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 	if cfg.Dedup {
 		plan = newDedupPlan(g, injections)
 	}
+	// owns reports whether experiment i belongs to this call: its dedup
+	// owner (itself without dedup) must lie inside the shard, if any. A
+	// shard-restricted run executes and journals only owned experiments.
+	owns := func(i int) bool {
+		if plan != nil {
+			i = plan.owner[i]
+		}
+		return opts.Shard.contains(i)
+	}
 
 	// The journal's canonical append sequence, fixed before anything runs:
 	// first the adoptees of already-journaled owners (synthesized up front,
 	// in owner order), then every pending owner in ascending index order,
 	// each followed by its pending adoptees. This is exactly the order a
 	// single-worker index-order run appends naturally; orderedSink holds
-	// multi-worker and snapshot-affine runs to the same byte sequence.
+	// multi-worker and snapshot-affine runs to the same byte sequence, and
+	// a shard-restricted run emits exactly this sequence filtered to its
+	// owners — so concatenating shard journals in shard order reproduces
+	// the monolithic byte sequence.
 	sink := opts.Sink
 	if sink != nil {
 		var seq []int
 		if plan != nil {
 			for i := range completed {
-				if completed[i] && plan.owner[i] == i {
+				if completed[i] && plan.owner[i] == i && owns(i) {
 					for _, j := range plan.adoptees[i] {
 						if !completed[j] {
 							seq = append(seq, j)
@@ -284,7 +339,7 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 			}
 		}
 		for i := range completed {
-			if completed[i] || (plan != nil && plan.owner[i] != i) {
+			if completed[i] || !owns(i) || (plan != nil && plan.owner[i] != i) {
 				continue
 			}
 			seq = append(seq, i)
@@ -325,7 +380,7 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 	// the merged journal is byte-identical to an uninterrupted run.
 	if plan != nil {
 		for i := range completed {
-			if completed[i] && plan.owner[i] == i {
+			if completed[i] && plan.owner[i] == i && owns(i) {
 				if err := adoptFrom(0, i); err != nil {
 					return c, err
 				}
@@ -354,7 +409,7 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 	}
 	var order []int
 	for i := range completed {
-		if !completed[i] && (plan == nil || plan.owner[i] == i) {
+		if !completed[i] && owns(i) && (plan == nil || plan.owner[i] == i) {
 			order = append(order, i)
 		}
 	}

@@ -81,6 +81,12 @@ type journalHeader struct {
 	// early_exit_iter), so resuming under different flags would break the
 	// journal's byte-identity contract; it is rejected here instead.
 	Efficiency string `json:"efficiency,omitempty"`
+	// Shard marks a per-shard journal of a distributed campaign
+	// (internal/dist): the owner-index range "lo-hi" this file covers
+	// ("" for monolithic journals, including the merged output of
+	// MergeShardJournals — which is how a merged journal's header stays
+	// byte-identical to a single-process run's). See shard.go.
+	Shard string `json:"shard,omitempty"`
 }
 
 // journalLine is one completed experiment.
@@ -169,18 +175,28 @@ func CreateJournal(path string, cfg experiment.Config, goldenDigest string) (*Jo
 		return nil, fmt.Errorf("record: creating journal: %w", err)
 	}
 	j := &Journal{f: f, bw: bufio.NewWriter(f), path: path, flushEvery: defaultFlushEvery}
-	hdr, err := json.Marshal(headerFor(cfg, goldenDigest))
-	if err != nil {
+	if err := j.writeHeader(headerFor(cfg, goldenDigest)); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("record: encoding journal header: %w", err)
+		return nil, err
 	}
-	j.bw.Write(hdr)
-	j.bw.WriteByte('\n')
 	if err := j.flushLocked(); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return j, nil
+}
+
+// writeHeader marshals hdr and buffers it as line 1 (callers flush).
+func (j *Journal) writeHeader(hdr journalHeader) error {
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("record: encoding journal header: %w", err)
+	}
+	j.bw.Write(b)
+	if err := j.bw.WriteByte('\n'); err != nil {
+		return fmt.Errorf("record: writing journal header to %s: %w", j.path, err)
+	}
+	return nil
 }
 
 // OpenJournal opens an existing journal for resumption: it validates that
@@ -216,6 +232,16 @@ func OpenJournal(path string, cfg experiment.Config, goldenDigest string) (*Jour
 // parseJournal validates raw journal bytes against the expected header and
 // replays the record lines.
 func parseJournal(path string, raw []byte, want journalHeader) (map[int]experiment.Record, error) {
+	recLines, err := journalRecordLines(path, raw, want)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRecordLines(path, recLines, want.Experiments)
+}
+
+// journalRecordLines validates the header of raw journal bytes and returns
+// the raw record lines that follow it, verbatim and in file order.
+func journalRecordLines(path string, raw []byte, want journalHeader) ([]string, error) {
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("record: journal %s is empty (not even a header); delete it and start fresh", path)
 	}
@@ -259,25 +285,54 @@ func parseJournal(path string, raw []byte, want journalHeader) (map[int]experime
 		return nil, fmt.Errorf("record: journal %s golden-run digest %s does not match this binary's %s — the journal was written by a different binary (numeric kernels, model definitions, or datasets changed), so its records forked from a trajectory this binary cannot reproduce; re-run the campaign from scratch",
 			path, got.GoldenDigest, want.GoldenDigest)
 	}
-	done := make(map[int]experiment.Record, len(lines)-1)
-	for ln, line := range lines[1:] {
+	if got.Shard != want.Shard {
+		if want.Shard == "" {
+			return nil, fmt.Errorf("record: journal %s is a per-shard journal covering owner range %s of a distributed campaign, not a whole-campaign journal — merge the campaign's shards (record.MergeShardJournals / campaignd) instead of resuming from one of them",
+				path, got.Shard)
+		}
+		return nil, fmt.Errorf("record: journal %s covers shard %q, expected shard %q — the file belongs to a different shard of the campaign; point at the matching shard journal",
+			path, got.Shard, want.Shard)
+	}
+	return lines[1:], nil
+}
+
+// decodeRecordLines replays raw record lines into completed records by
+// experiment index, rejecting corrupt, out-of-range, and duplicate lines.
+// path labels errors ("" for lines that never lived in a file, e.g. a
+// shard upload arriving at the campaignd coordinator).
+func decodeRecordLines(path string, lines []string, experiments int) (map[int]experiment.Record, error) {
+	src, skew := "journal "+path, 2 // +2: 1-based, after the header line
+	if path == "" {
+		src, skew = "record lines", 1
+	}
+	done := make(map[int]experiment.Record, len(lines))
+	for ln, line := range lines {
 		var jl journalLine
 		if err := json.Unmarshal([]byte(line), &jl); err != nil {
-			return nil, fmt.Errorf("record: journal %s line %d is corrupt (%v) — the file was modified outside the campaign tool; restore it from backup or start fresh", path, ln+2, err)
+			return nil, fmt.Errorf("record: %s line %d is corrupt (%v) — the file was modified outside the campaign tool; restore it from backup or start fresh", src, ln+skew, err)
 		}
-		if jl.Index < 0 || jl.Index >= want.Experiments {
-			return nil, fmt.Errorf("record: journal %s line %d: record index %d outside campaign range [0,%d)", path, ln+2, jl.Index, want.Experiments)
+		if jl.Index < 0 || jl.Index >= experiments {
+			return nil, fmt.Errorf("record: %s line %d: record index %d outside campaign range [0,%d)", src, ln+skew, jl.Index, experiments)
 		}
 		if _, dup := done[jl.Index]; dup {
-			return nil, fmt.Errorf("record: journal %s line %d: duplicate record for experiment %d — the journal was appended to by two concurrent campaigns; start fresh", path, ln+2, jl.Index)
+			return nil, fmt.Errorf("record: %s line %d: duplicate record for experiment %d — the journal was appended to by two concurrent campaigns; start fresh", src, ln+skew, jl.Index)
 		}
 		rec, err := DecodeCampaignRecord(jl.Record)
 		if err != nil {
-			return nil, fmt.Errorf("record: journal %s line %d: %w", path, ln+2, err)
+			return nil, fmt.Errorf("record: %s line %d: %w", src, ln+skew, err)
 		}
 		done[jl.Index] = rec
 	}
 	return done, nil
+}
+
+// DecodeJournalLines replays raw journal record lines (as produced by
+// EncodeJournalLine / LineBuffer, without the header) into completed
+// records by experiment index. Corrupt, out-of-range, and duplicate lines
+// are rejected loudly. The campaignd coordinator validates every ingested
+// shard upload through this before accepting it.
+func DecodeJournalLines(lines []string, experiments int) (map[int]experiment.Record, error) {
+	return decodeRecordLines("", lines, experiments)
 }
 
 // splitJournalLines splits raw into newline-terminated lines, reporting a
@@ -317,12 +372,24 @@ func RepairJournal(path string) (removed int64, err error) {
 	return int64(len(raw)) - valid, nil
 }
 
+// EncodeJournalLine renders one completed record as the exact journal line
+// bytes Journal.Append writes, without the trailing newline. Shared with
+// LineBuffer so a distributed worker's in-memory shard lines are
+// byte-identical to what a local journal would have appended.
+func EncodeJournalLine(idx int, rec experiment.Record) ([]byte, error) {
+	line, err := json.Marshal(journalLine{Index: idx, Record: EncodeCampaignRecord(&rec)})
+	if err != nil {
+		return nil, fmt.Errorf("record: encoding journal record %d: %w", idx, err)
+	}
+	return line, nil
+}
+
 // Append writes one completed record. Safe for concurrent use; the write
 // becomes durable at the next fsync batch boundary, Flush, or Close.
 func (j *Journal) Append(idx int, rec experiment.Record) error {
-	line, err := json.Marshal(journalLine{Index: idx, Record: EncodeCampaignRecord(&rec)})
+	line, err := EncodeJournalLine(idx, rec)
 	if err != nil {
-		return fmt.Errorf("record: encoding journal record %d: %w", idx, err)
+		return err
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -1,0 +1,170 @@
+package record
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/workloads"
+)
+
+func shardTestConfig(t *testing.T) experiment.Config {
+	t.Helper()
+	w, err := workloads.ByName("resnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iters = 12 // shrink for test speed
+	return experiment.Config{Workload: w, Experiments: 8, Seed: 11, HorizonMult: 2, InjectFrac: 0.8, Workers: 2}
+}
+
+// runShards executes the campaign as the given owner-range shards and
+// writes one shard journal per range under dir, returning the ShardFiles.
+func runShards(t *testing.T, cfg experiment.Config, g *experiment.Golden, dir string, bounds [][2]int) []ShardFile {
+	t.Helper()
+	digest := g.Ref().Digest()
+	var files []ShardFile
+	for _, b := range bounds {
+		buf := &LineBuffer{}
+		sh := experiment.Shard{Lo: b[0], Hi: b[1]}
+		if _, err := experiment.Resume(cfg, experiment.RunOptions{Golden: g, Sink: buf, Shard: &sh}); err != nil {
+			t.Fatalf("shard [%d,%d) failed: %v", b[0], b[1], err)
+		}
+		path := filepath.Join(dir, ShardBinding(b[0], b[1])+".jsonl")
+		if err := WriteShardJournal(path, cfg, digest, b[0], b[1], buf.Lines()); err != nil {
+			t.Fatalf("writing shard journal [%d,%d): %v", b[0], b[1], err)
+		}
+		files = append(files, ShardFile{Path: path, Lo: b[0], Hi: b[1]})
+	}
+	return files
+}
+
+// TestMergeShardJournals is the merge half of the distributed exactness
+// proof at the file level: shard journals merged in shard order must be
+// byte-identical to the journal a monolithic run writes — with and without
+// the dedup/early-exit fast paths (whose owner/adoptee order crosses index
+// order within a shard).
+func TestMergeShardJournals(t *testing.T) {
+	for _, tc := range []struct {
+		name             string
+		dedup, earlyExit bool
+	}{
+		{"plain", false, false},
+		{"dedup-early-exit", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := shardTestConfig(t)
+			cfg.Dedup, cfg.EarlyExit = tc.dedup, tc.earlyExit
+			g := experiment.PrepareGolden(cfg)
+			digest := g.Ref().Digest()
+
+			monoPath := filepath.Join(dir, "mono.jsonl")
+			j, err := CreateJournal(monoPath, cfg, digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := experiment.Resume(cfg, experiment.RunOptions{Golden: g, Sink: j}); err != nil {
+				t.Fatalf("monolithic run failed: %v", err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			files := runShards(t, cfg, g, dir, [][2]int{{0, 3}, {3, 5}, {5, 8}})
+			mergedPath := filepath.Join(dir, "merged.jsonl")
+			if err := MergeShardJournals(mergedPath, cfg, digest, files); err != nil {
+				t.Fatalf("merge failed: %v", err)
+			}
+
+			mono, err := os.ReadFile(monoPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged, err := os.ReadFile(mergedPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(mono, merged) {
+				t.Fatalf("merged journal differs from monolithic journal:\nmono:   %d bytes\nmerged: %d bytes", len(mono), len(merged))
+			}
+		})
+	}
+}
+
+// TestShardJournalHeaderBinding: a shard journal must only open under its
+// exact owner range and must be rejected as a whole-campaign journal.
+func TestShardJournalHeaderBinding(t *testing.T) {
+	dir := t.TempDir()
+	cfg := shardTestConfig(t)
+	g := experiment.PrepareGolden(cfg)
+	digest := g.Ref().Digest()
+	files := runShards(t, cfg, g, dir, [][2]int{{0, 8}})
+	path := files[0].Path
+
+	if _, _, err := ShardLines(path, cfg, digest, 0, 8); err != nil {
+		t.Fatalf("reading back the shard journal failed: %v", err)
+	}
+	if _, _, err := ShardLines(path, cfg, digest, 0, 4); err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("ShardLines accepted the wrong owner range (err=%v)", err)
+	}
+	if _, _, err := OpenJournal(path, cfg, digest); err == nil || !strings.Contains(err.Error(), "per-shard") {
+		t.Fatalf("OpenJournal accepted a per-shard journal as a whole-campaign journal (err=%v)", err)
+	}
+	other := cfg
+	other.Seed++
+	if _, _, err := ShardLines(path, other, digest, 0, 8); err == nil {
+		t.Fatal("ShardLines accepted a shard journal from a different campaign")
+	}
+}
+
+// TestMergeShardJournalsValidation: gaps, overlaps, short coverage, and
+// invalid uploads must all fail loudly before a merged file appears.
+func TestMergeShardJournalsValidation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := shardTestConfig(t)
+	g := experiment.PrepareGolden(cfg)
+	digest := g.Ref().Digest()
+	files := runShards(t, cfg, g, dir, [][2]int{{0, 3}, {3, 5}, {5, 8}})
+
+	cases := []struct {
+		name   string
+		shards []ShardFile
+	}{
+		{"gap", []ShardFile{files[0], files[2]}},
+		{"out-of-order", []ShardFile{files[1], files[0], files[2]}},
+		{"short-coverage", []ShardFile{files[0], files[1]}},
+		{"none", nil},
+	}
+	for _, tc := range cases {
+		dst := filepath.Join(dir, "bad-"+tc.name+".jsonl")
+		if err := MergeShardJournals(dst, cfg, digest, tc.shards); err == nil {
+			t.Fatalf("%s: merge accepted a non-partition", tc.name)
+		}
+		if _, err := os.Stat(dst); err == nil {
+			t.Fatalf("%s: failed merge left a file behind", tc.name)
+		}
+	}
+
+	// A corrupt line in an upload must be rejected before writing.
+	if err := WriteShardJournal(filepath.Join(dir, "corrupt.jsonl"), cfg, digest, 0, 3,
+		[]string{"{not json"}); err == nil {
+		t.Fatal("WriteShardJournal accepted a corrupt line")
+	}
+	// Duplicate indexes across shards (same shard ingested under two ranges).
+	dupe := filepath.Join(dir, "dupe.jsonl")
+	lines, _, err := ShardLines(files[0].Path, cfg, digest, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteShardJournal(dupe, cfg, digest, 3, 5, lines); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeShardJournals(filepath.Join(dir, "bad-dupe.jsonl"), cfg, digest,
+		[]ShardFile{files[0], {Path: dupe, Lo: 3, Hi: 5}, files[2]}); err == nil {
+		t.Fatal("merge accepted duplicate records across shards")
+	}
+}

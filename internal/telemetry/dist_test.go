@@ -1,0 +1,56 @@
+package telemetry
+
+import "testing"
+
+// TestDistStatsCounters: every counter lands in the snapshot, and the
+// nil receiver is safe on all paths (the coordinator carries an optional
+// *DistStats exactly like the campaign runner carries *CampaignStats).
+func TestDistStatsCounters(t *testing.T) {
+	var nilStats *DistStats
+	nilStats.CampaignSubmitted()
+	nilStats.CampaignDone()
+	nilStats.CampaignCancelled()
+	nilStats.CampaignFailed()
+	nilStats.LeaseGranted(true)
+	nilStats.LeaseRenewed()
+	nilStats.LeaseExpired()
+	nilStats.ShardCompleted(3)
+	nilStats.ShardsMerged(2)
+	if got := nilStats.Snapshot(); got != (DistSnapshot{}) {
+		t.Fatalf("nil DistStats snapshot = %+v, want zero", got)
+	}
+
+	s := &DistStats{}
+	s.CampaignSubmitted()
+	s.CampaignSubmitted()
+	s.CampaignDone()
+	s.CampaignCancelled()
+	s.CampaignFailed()
+	s.LeaseGranted(false)
+	s.LeaseGranted(false)
+	s.LeaseGranted(true)
+	s.LeaseRenewed()
+	s.LeaseExpired()
+	s.ShardCompleted(5)
+	s.ShardCompleted(7)
+	s.ShardsMerged(4)
+	want := DistSnapshot{
+		CampaignsSubmitted: 2,
+		CampaignsDone:      1,
+		CampaignsCancelled: 1,
+		CampaignsFailed:    1,
+		LeasesGranted:      3,
+		LeasesRenewed:      1,
+		LeasesExpired:      1,
+		LeasesReassigned:   1,
+		ShardsCompleted:    2,
+		ShardsMerged:       4,
+		RecordsIngested:    12,
+	}
+	if got := s.Snapshot(); got != want {
+		t.Fatalf("snapshot = %+v, want %+v", got, want)
+	}
+
+	ActivateDist(s)
+	ActivateDist(s) // repeat-safe
+}
