@@ -48,6 +48,9 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/tensor ./internal/nn ./internal/train
 
+echo "== recovery strategies under -race (JIT restore goroutine, elastic resize, parallel-vs-serial guard equivalence) =="
+go test -race ./internal/comm ./internal/recovery
+
 echo "== kernel-pool leak guard (tensor TestMain fails the package if ClosePool leaves workers) =="
 go test -count 1 -run 'TestPoolCloseNoLeak' ./internal/tensor
 
@@ -156,6 +159,20 @@ done
 	-device-faults all -quarantine \
 	-journal "$tmp/df.jsonl" -resume -repair-journal -json "$tmp/dfresumed.json" >/dev/null
 cmp "$tmp/dfref.json" "$tmp/dfresumed.json"
+
+echo "== JIT recovery smoke (crash campaign under -recovery jit: zero hangs, v4 recovery fields journaled) =="
+"$tmp/campaign" -workload resnet -n 20 -iters 12 -seed 11 \
+	-device-faults crash -recovery jit -journal "$tmp/jit.jsonl" >"$tmp/jit.txt"
+if grep -q "GroupHang" "$tmp/jit.txt"; then
+	echo "JIT-mitigated crash campaign still hung:" >&2
+	cat "$tmp/jit.txt" >&2
+	exit 1
+fi
+grep -q '"record_schema":"campaign-record-v4"' "$tmp/jit.jsonl"
+grep -q '"recovery_strategy":"jit"' "$tmp/jit.jsonl"
+grep -q '"time_to_recover_iters":' "$tmp/jit.jsonl"
+grep -q '"jit_snapshots":' "$tmp/jit.jsonl"
+grep -q "recovery \[jit\]:" "$tmp/jit.txt" # report renders the strategy summary
 
 echo "== campaign bench smoke (-benchtime=1x) =="
 go test -run '^$' -bench 'BenchmarkCampaign(Cold|Forked|ForkedTelemetry|ForkedUnordered)$' -benchtime 1x .

@@ -44,6 +44,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/outcome"
 	"repro/internal/record"
+	"repro/internal/recovery"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/workloads"
@@ -51,32 +52,33 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "resnet", "workload to inject into")
-		n          = flag.Int("n", 100, "number of fault-injection experiments")
-		seed       = flag.Int64("seed", 1, "campaign seed")
-		iters      = flag.Int("iters", 0, "override the workload's fault-free training length (0 = workload default)")
-		all        = flag.Bool("all", false, "run every Table-2 workload")
-		csvOut     = flag.String("csv", "", "write per-experiment rows to this CSV file")
-		jsonOut    = flag.String("json", "", "write the full campaign record to this JSON file")
-		stride     = flag.Int("snapshot-stride", 0, "golden-prefix snapshot stride: 0 = auto (memory-bounded), >0 explicit, <0 disable forking")
-		snapMem    = flag.Int64("snapshot-mem", 0, "auto-stride snapshot cache budget in bytes (0 = 256 MiB)")
-		pool       = flag.Bool("pool", true, "reuse one engine per worker across experiments (Reset+Restore) instead of rebuilding per experiment")
-		journal    = flag.String("journal", "", "write-ahead journal path: append each completed experiment (crash-safe, fsync-batched)")
-		resume     = flag.Bool("resume", false, "continue the campaign recorded in -journal, skipping completed experiments")
-		repair     = flag.Bool("repair-journal", false, "truncate a torn final journal line (crash mid-append) before resuming")
-		statusAddr = flag.String("status-addr", "", "serve live telemetry on this address (/status, /debug/vars, /debug/pprof)")
-		devFaults  = flag.String("device-faults", "", "run a system-level device-fault campaign instead of FF bit flips: \"all\" or a comma-separated subset of link-sdc,stuck-at,straggler,crash")
-		quarantine = flag.Bool("quarantine", false, "with -device-faults: enable the mitigation pipeline (timeout+retry exclusion, cross-replica check, quarantine + re-execution, hot-rejoin)")
-		degraded   = flag.Bool("degraded", false, "with -quarantine: keep the group degraded after a quarantine instead of attempting hot-rejoins")
-		dedup      = flag.Bool("dedup", false, "deduplicate injections with byte-identical effective corruptions: run one owner per equivalence class, adopt its record for the rest (exact; records carry adopted_from provenance)")
-		earlyExit  = flag.Bool("early-exit", false, "terminate an experiment once its state digest matches the golden run's — the remaining iterations are provably identical and are synthesized from the golden trace (exact)")
-		exitStride = flag.Int("early-exit-stride", 1, "with -early-exit: compare state digests every this many iterations after the injection")
-		convTail   = flag.Bool("converged-tail", false, "finish an experiment from the golden trace once its metrics track the reference within -converged-tol for -converged-patience iterations (approximate; records carry a converged_iter flag and the campaign fingerprint changes)")
-		convTol    = flag.Float64("converged-tol", 0, "with -converged-tail: metric tolerance (0 = default 1e-3)")
-		convPat    = flag.Int("converged-patience", 0, "with -converged-tail: consecutive in-tolerance iterations required (0 = default 5)")
-		scrubWS    = flag.Bool("scrub-workspaces", false, "NaN-poison pooled engines' kernel scratch buffers between experiments (exact; debugging invariant check for scratch-state leaks)")
-		affine     = flag.Bool("affine", true, "snapshot-affine scheduling: group experiments by the golden snapshot they fork from so pooled workers restore cache-resident snapshots (exact; results and journal bytes are identical either way)")
-		l2Bytes    = flag.Int64("l2-bytes", 0, "GEMM pack-tile budget in bytes, normally the per-core L2 size (0 = sysfs autodetect with a 2 MiB fallback; exact — tiling never changes results)")
+		workload    = flag.String("workload", "resnet", "workload to inject into")
+		n           = flag.Int("n", 100, "number of fault-injection experiments")
+		seed        = flag.Int64("seed", 1, "campaign seed")
+		iters       = flag.Int("iters", 0, "override the workload's fault-free training length (0 = workload default)")
+		all         = flag.Bool("all", false, "run every Table-2 workload")
+		csvOut      = flag.String("csv", "", "write per-experiment rows to this CSV file")
+		jsonOut     = flag.String("json", "", "write the full campaign record to this JSON file")
+		stride      = flag.Int("snapshot-stride", 0, "golden-prefix snapshot stride: 0 = auto (memory-bounded), >0 explicit, <0 disable forking")
+		snapMem     = flag.Int64("snapshot-mem", 0, "auto-stride snapshot cache budget in bytes (0 = 256 MiB)")
+		pool        = flag.Bool("pool", true, "reuse one engine per worker across experiments (Reset+Restore) instead of rebuilding per experiment")
+		journal     = flag.String("journal", "", "write-ahead journal path: append each completed experiment (crash-safe, fsync-batched)")
+		resume      = flag.Bool("resume", false, "continue the campaign recorded in -journal, skipping completed experiments")
+		repair      = flag.Bool("repair-journal", false, "truncate a torn final journal line (crash mid-append) before resuming")
+		statusAddr  = flag.String("status-addr", "", "serve live telemetry on this address (/status, /debug/vars, /debug/pprof)")
+		devFaults   = flag.String("device-faults", "", "run a system-level device-fault campaign instead of FF bit flips: \"all\" or a comma-separated subset of link-sdc,stuck-at,straggler,crash")
+		quarantine  = flag.Bool("quarantine", false, "with -device-faults: enable the mitigation pipeline (timeout+retry exclusion, cross-replica check, quarantine + re-execution, hot-rejoin)")
+		degraded    = flag.Bool("degraded", false, "with -quarantine: keep the group degraded after a quarantine instead of attempting hot-rejoins")
+		recoverySel = flag.String("recovery", "", "with -device-faults: recovery strategy (reexec, jit, elastic, degraded; implies -quarantine), or \"all\" to replay the same fault population unmitigated and under every strategy head-to-head")
+		dedup       = flag.Bool("dedup", false, "deduplicate injections with byte-identical effective corruptions: run one owner per equivalence class, adopt its record for the rest (exact; records carry adopted_from provenance)")
+		earlyExit   = flag.Bool("early-exit", false, "terminate an experiment once its state digest matches the golden run's — the remaining iterations are provably identical and are synthesized from the golden trace (exact)")
+		exitStride  = flag.Int("early-exit-stride", 1, "with -early-exit: compare state digests every this many iterations after the injection")
+		convTail    = flag.Bool("converged-tail", false, "finish an experiment from the golden trace once its metrics track the reference within -converged-tol for -converged-patience iterations (approximate; records carry a converged_iter flag and the campaign fingerprint changes)")
+		convTol     = flag.Float64("converged-tol", 0, "with -converged-tail: metric tolerance (0 = default 1e-3)")
+		convPat     = flag.Int("converged-patience", 0, "with -converged-tail: consecutive in-tolerance iterations required (0 = default 5)")
+		scrubWS     = flag.Bool("scrub-workspaces", false, "NaN-poison pooled engines' kernel scratch buffers between experiments (exact; debugging invariant check for scratch-state leaks)")
+		affine      = flag.Bool("affine", true, "snapshot-affine scheduling: group experiments by the golden snapshot they fork from so pooled workers restore cache-resident snapshots (exact; results and journal bytes are identical either way)")
+		l2Bytes     = flag.Int64("l2-bytes", 0, "GEMM pack-tile budget in bytes, normally the per-core L2 size (0 = sysfs autodetect with a 2 MiB fallback; exact — tiling never changes results)")
 
 		worker      = flag.String("worker", "", "attach to this campaignd coordinator URL (e.g. http://127.0.0.1:8080) as a distributed-campaign worker instead of running a local campaign; campaign parameters come from the coordinator's leases")
 		workerID    = flag.String("worker-id", "", "with -worker: worker identity shown in campaignd status views (default worker-<pid>)")
@@ -101,11 +103,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *devFaults == "" && (*quarantine || *degraded) {
-		fatal(fmt.Errorf("-quarantine/-degraded apply only to -device-faults campaigns"))
+	if *devFaults == "" && (*quarantine || *degraded || *recoverySel != "") {
+		fatal(fmt.Errorf("-quarantine/-degraded/-recovery apply only to -device-faults campaigns"))
 	}
 	if *degraded && !*quarantine {
 		fatal(fmt.Errorf("-degraded requires -quarantine"))
+	}
+	recoveryAll := *recoverySel == "all"
+	var recoveryStrategy recovery.Strategy
+	if *recoverySel != "" && !recoveryAll {
+		var ok bool
+		recoveryStrategy, ok = recovery.StrategyByName(*recoverySel)
+		if !ok || recoveryStrategy == recovery.StrategyNone {
+			fatal(fmt.Errorf("-recovery %q: want reexec, jit, elastic, degraded, or all", *recoverySel))
+		}
+		if *degraded && recoveryStrategy != recovery.StrategyDegraded {
+			fatal(fmt.Errorf("-degraded conflicts with -recovery %s — pick one", recoveryStrategy))
+		}
+		*quarantine = true // -recovery implies the mitigation pipeline
+	}
+	if recoveryAll {
+		// The head-to-head mode runs five campaigns over one fault
+		// population; a single journal/report file can't describe that.
+		if *journal != "" || *csvOut != "" || *jsonOut != "" {
+			fatal(fmt.Errorf("-recovery all replays the campaign under every strategy; it cannot be combined with -journal, -csv, or -json (run the strategies individually to archive them)"))
+		}
+		if *quarantine || *degraded {
+			fatal(fmt.Errorf("-recovery all chooses its own mitigation settings; drop -quarantine/-degraded"))
+		}
 	}
 	if *earlyExit && *exitStride < 1 {
 		fatal(fmt.Errorf("-early-exit-stride must be >= 1"))
@@ -134,12 +159,15 @@ func main() {
 	}
 
 	if *worker != "" {
+		dstats := &telemetry.DistStats{}
+		telemetry.ActivateDist(dstats)
 		err := dist.RunWorker(ctx, dist.WorkerOptions{
 			Coordinator: *worker,
 			ID:          *workerID,
 			Drain:       *workerDrain,
 			Poll:        *workerPoll,
 			Output:      os.Stdout,
+			Stats:       dstats,
 		})
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -181,6 +209,7 @@ func main() {
 			DeviceFaultKinds:  deviceFaultKinds,
 			Quarantine:        *quarantine,
 			Degraded:          *degraded,
+			Recovery:          recoveryStrategy,
 			Dedup:             *dedup,
 			EarlyExit:         *earlyExit,
 			EarlyExitStride:   *exitStride,
@@ -189,6 +218,17 @@ func main() {
 			ConvergedPatience: *convPat,
 		}
 		g := experiment.PrepareGolden(cfg)
+
+		if recoveryAll {
+			if err := runHeadToHead(ctx, cfg, g); err != nil {
+				if errors.Is(err, context.Canceled) {
+					fmt.Println("\ninterrupted during the head-to-head comparison")
+					os.Exit(130)
+				}
+				fatal(err)
+			}
+			continue
+		}
 
 		stats := telemetry.NewCampaignStats(w.Name, cfg.Experiments, workersFor(cfg))
 		telemetry.Activate(stats)
@@ -294,6 +334,45 @@ func main() {
 			writeFile(*jsonOut, func(f *os.File) error { return record.WriteCampaignJSON(f, c) })
 		}
 	}
+}
+
+// runHeadToHead replays one device-fault population unmitigated and under
+// every recovery strategy, all forking from the same golden reference (the
+// golden cache binds workload/seed/horizon only, never the mitigation
+// settings), and prints the paper-style comparison: hang rate,
+// time-to-recover, and accuracy cost per strategy over identical faults.
+func runHeadToHead(ctx context.Context, base experiment.Config, g *experiment.Golden) error {
+	type variant struct {
+		name string
+		cfg  experiment.Config
+	}
+	variants := []variant{{"unmitigated", base}}
+	for _, s := range recovery.Strategies {
+		cfg := base
+		cfg.Quarantine = true
+		cfg.Recovery = s
+		variants = append(variants, variant{s.String(), cfg})
+	}
+
+	fmt.Printf("head-to-head recovery comparison: %s, %d experiments, seed %d\n",
+		base.Workload.Name, base.Experiments, base.Seed)
+	fmt.Printf("  %-12s %6s %6s %10s %10s %9s %8s %9s\n",
+		"strategy", "hangs", "recov", "mean-ttr", "acc-cost", "jit-snap", "resizes", "readmits")
+	for _, v := range variants {
+		stats := telemetry.NewCampaignStats(v.cfg.Workload.Name, v.cfg.Experiments, workersFor(v.cfg))
+		telemetry.Activate(stats)
+		c, err := experiment.Resume(v.cfg, experiment.RunOptions{
+			Context: ctx, Golden: g, Stats: stats,
+		})
+		if err != nil {
+			return err
+		}
+		rs := c.RecoveryStats()
+		fmt.Printf("  %-12s %6d %6d %10.1f %+10.3f %9d %8d %9d\n",
+			v.name, rs.Hangs, rs.Recovered, rs.MeanTTR, rs.MeanAccuracyCost,
+			rs.JITSnapshots, rs.Resizes, rs.Readmits)
+	}
+	return nil
 }
 
 // workersFor mirrors the campaign runner's worker-count resolution for the

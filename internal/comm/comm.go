@@ -93,6 +93,11 @@ type Group struct {
 	faults      []*fault.DeviceFault
 	collectSigs bool
 	retries     int64
+
+	// shards, when non-nil, holds per-device example counts of an elastic
+	// batch partition: AllReduce then weights each contribution by
+	// count/total instead of the uniform 1/len(arrived). See SetShards.
+	shards []int
 }
 
 // NewGroup creates a fully healthy group of n devices with DefaultPolicy.
@@ -193,6 +198,27 @@ func (g *Group) Root() int {
 	return 0
 }
 
+// SetShards installs the per-device example counts of an elastic batch
+// partition (len n; quarantined devices carry 0). With shards installed,
+// AllReduce weights device d's contribution by shards[d]/Σshards[arrived]
+// instead of the uniform 1/len(arrived): each device's gradient is the
+// mean over its own shard, so the weighted sum is exactly the mean over
+// every example that arrived even when shards are unequal. Pass nil to
+// restore uniform averaging (the bitwise-legacy path).
+func (g *Group) SetShards(counts []int) {
+	if counts == nil {
+		g.shards = nil
+		return
+	}
+	if len(counts) != g.n {
+		panic(fmt.Sprintf("comm: %d shard counts for group of %d", len(counts), g.n))
+	}
+	g.shards = append(g.shards[:0], counts...)
+}
+
+// Shards returns the installed elastic shard counts (nil when uniform).
+func (g *Group) Shards() []int { return g.shards }
+
 // Retries returns the cumulative retry count across all collectives since
 // the last Reset.
 func (g *Group) Retries() int64 { return g.retries }
@@ -208,6 +234,7 @@ func (g *Group) Reset() {
 	g.policy = DefaultPolicy()
 	g.collectSigs = false
 	g.retries = 0
+	g.shards = nil
 }
 
 // arrival resolves device d's virtual arrival for iteration iter:
@@ -279,6 +306,42 @@ func (g *Group) AllReduce(iter int, grads [][]*tensor.Tensor) ReduceStep {
 	if g.collectSigs {
 		step.Sigs = make([][]float32, len(grads[root]))
 	}
+
+	// Elastic weighted mode: pre-scale each arrived contribution by its
+	// shard weight and accumulate without the uniform rescale. Gradients
+	// are consumed (and zeroed) this iteration, so in-place scaling is
+	// safe; signatures then reflect the weighted contributions, which stay
+	// mutually comparable because shard sizes differ by at most one.
+	wTotal := 0
+	if g.shards != nil {
+		for _, d := range step.Arrived {
+			wTotal += g.shards[d]
+		}
+	}
+	if wTotal > 0 {
+		for _, d := range step.Arrived {
+			w := float32(g.shards[d]) / float32(wTotal)
+			for _, t := range grads[d] {
+				t.Scale(w)
+			}
+		}
+		for pi, acc := range grads[root] {
+			if g.collectSigs {
+				sig := make([]float32, g.n)
+				sig[root] = acc.AbsMax()
+				for _, d := range step.Arrived[1:] {
+					sig[d] = acc.AddInPlaceAbsMax(grads[d][pi])
+				}
+				step.Sigs[pi] = sig
+			} else {
+				for _, d := range step.Arrived[1:] {
+					acc.AddInPlace(grads[d][pi])
+				}
+			}
+		}
+		return step
+	}
+
 	inv := 1 / float32(len(step.Arrived))
 	for pi, acc := range grads[root] {
 		if g.collectSigs {

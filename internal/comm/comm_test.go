@@ -259,3 +259,81 @@ func TestGroupReset(t *testing.T) {
 		t.Fatalf("Root = %d", g.Root())
 	}
 }
+
+// constGrads builds D single-tensor gradient sets with constant values.
+func constGrads(vals []float32, n int) [][]*tensor.Tensor {
+	out := make([][]*tensor.Tensor, len(vals))
+	for d, v := range vals {
+		t := tensor.New(n)
+		for i := range t.Data {
+			t.Data[i] = v
+		}
+		out[d] = []*tensor.Tensor{t}
+	}
+	return out
+}
+
+// TestAllReduceWeightedShards: with per-device shard counts installed, the
+// reduction is the shard-weighted mean — each device's gradient is already
+// the mean over its shard, so weighting by shard size reconstructs the
+// exact global-batch mean. Checked with weights that are exact in float32
+// so the expected value is bit-precise.
+func TestAllReduceWeightedShards(t *testing.T) {
+	// Shards [3,1]: weighted mean of constants 2 and 6 is 0.75*2 + 0.25*6
+	// = 3 exactly (both weights and products are exact in float32).
+	g := NewGroup(2)
+	g.SetShards([]int{3, 1})
+	grads := constGrads([]float32{2, 6}, 8)
+	step := g.AllReduce(0, grads)
+	if step.Hang || len(step.Arrived) != 2 {
+		t.Fatalf("unexpected step %+v", step)
+	}
+	for i, v := range grads[0][0].Data {
+		if v != 3 {
+			t.Fatalf("elem %d: weighted mean = %v, want exactly 3", i, v)
+		}
+	}
+
+	// Equal power-of-two weights: pre-scaling each addend by 1/4 commutes
+	// exactly with the addition (power-of-two scaling shifts exponents
+	// only), so the weighted path must be bitwise identical to the legacy
+	// uniform path.
+	a := makeGrads(4, testShapes, 7)
+	b := cloneGrads(a)
+	gw := NewGroup(4)
+	gw.SetShards([]int{2, 2, 2, 2})
+	gw.AllReduce(0, a)
+	gu := NewGroup(4)
+	gu.AllReduce(0, b)
+	for pi := range a[0] {
+		for i, v := range a[0][pi].Data {
+			if math.Float32bits(v) != math.Float32bits(b[0][pi].Data[i]) {
+				t.Fatalf("tensor %d elem %d: weighted(equal shards) %x != uniform %x",
+					pi, i, math.Float32bits(v), math.Float32bits(b[0][pi].Data[i]))
+			}
+		}
+	}
+
+	// A quarantined device's shard drops out of the weight normalization:
+	// shards [2,2,2,2] over 3 arrived devices is the uniform mean again.
+	c := cloneGrads(b)
+	gq := NewGroup(4)
+	gq.SetShards([]int{2, 2, 2, 2})
+	gq.Quarantine(0)
+	step = gq.AllReduce(0, c)
+	if len(step.Arrived) != 3 || step.Root != 1 {
+		t.Fatalf("quarantined step %+v", step)
+	}
+
+	// Reset clears the shard weights; wrong-length counts panic.
+	gw.Reset()
+	if gw.Shards() != nil {
+		t.Fatal("Reset did not clear the shard weights")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetShards with a wrong-length slice did not panic")
+		}
+	}()
+	gw.SetShards([]int{1, 2})
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/fault"
+	"repro/internal/recovery"
 	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
@@ -47,6 +48,10 @@ type CampaignSpec struct {
 	// Degraded keeps the group degraded after a quarantine (requires
 	// Quarantine).
 	Degraded bool `json:"degraded,omitempty"`
+	// Recovery selects the mitigation strategy by name (reexec, jit,
+	// elastic, degraded; "" = the reexec default). Implies Quarantine.
+	// "degraded" is the same campaign the Degraded flag runs.
+	Recovery string `json:"recovery,omitempty"`
 
 	// Dedup / EarlyExit / EarlyExitStride are the exact equivalence-layer
 	// fast paths (FF campaigns only). They compose with sharding: shards
@@ -89,11 +94,22 @@ func (s CampaignSpec) Config() (experiment.Config, error) {
 	if err != nil {
 		return cfg, err
 	}
-	if s.DeviceFaults == "" && (s.Quarantine || s.Degraded) {
-		return cfg, fmt.Errorf("dist: quarantine/degraded apply only to device-fault campaigns")
+	if s.DeviceFaults == "" && (s.Quarantine || s.Degraded || s.Recovery != "") {
+		return cfg, fmt.Errorf("dist: quarantine/degraded/recovery apply only to device-fault campaigns")
 	}
 	if s.Degraded && !s.Quarantine {
 		return cfg, fmt.Errorf("dist: degraded requires quarantine")
+	}
+	var rs recovery.Strategy
+	if s.Recovery != "" {
+		var ok bool
+		rs, ok = recovery.StrategyByName(s.Recovery)
+		if !ok || rs == recovery.StrategyNone {
+			return cfg, fmt.Errorf("dist: unknown recovery strategy %q (want reexec, jit, elastic, or degraded)", s.Recovery)
+		}
+		if s.Degraded && rs != recovery.StrategyDegraded {
+			return cfg, fmt.Errorf("dist: degraded conflicts with recovery=%s — pick one", s.Recovery)
+		}
 	}
 	stride := s.EarlyExitStride
 	if stride == 0 {
@@ -112,8 +128,9 @@ func (s CampaignSpec) Config() (experiment.Config, error) {
 		HorizonMult:       1.5, // the cmd/campaign horizon
 		DeviceFaults:      s.DeviceFaults != "",
 		DeviceFaultKinds:  kinds,
-		Quarantine:        s.Quarantine,
+		Quarantine:        s.Quarantine || rs != recovery.StrategyNone,
 		Degraded:          s.Degraded,
+		Recovery:          rs,
 		Dedup:             s.Dedup,
 		EarlyExit:         s.EarlyExit,
 		EarlyExitStride:   stride,

@@ -9,15 +9,19 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/record"
+	"repro/internal/telemetry"
 )
 
 func testSpec(n int, seed int64, shardSize int) CampaignSpec {
@@ -457,5 +461,73 @@ func TestSubmitValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("GET unknown campaign = HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestWorkerLeaseBackoff (the transient-coordinator-error fix): a worker
+// whose lease polls hit transient failures must retry with backoff instead
+// of dying — here the first requests are 503s from a flaky front end, after
+// which the worker completes a whole campaign — while a persistently
+// unreachable coordinator still becomes a loud fatal error after the
+// bounded retry budget. Each retry is counted on telemetry.DistStats.
+func TestWorkerLeaseBackoff(t *testing.T) {
+	origBase, origCap := leaseBackoffBase, leaseBackoffCap
+	leaseBackoffBase, leaseBackoffCap = time.Millisecond, 5*time.Millisecond
+	t.Cleanup(func() { leaseBackoffBase, leaseBackoffCap = origBase, origCap })
+
+	_, srv := startCoordinator(t, time.Minute)
+	id := submit(t, srv.URL, testSpec(4, 9, 2))
+
+	// A flaky front end: the first three /lease polls fail with 503, then
+	// everything proxies through to the real coordinator.
+	backend, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(backend)
+	var fails atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/lease" && fails.Add(1) <= 3 {
+			http.Error(w, "coordinator restarting", http.StatusServiceUnavailable)
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	stats := &telemetry.DistStats{}
+	err = RunWorker(context.Background(), WorkerOptions{
+		Coordinator: flaky.URL,
+		ID:          "flaky-worker",
+		Drain:       true,
+		Poll:        10 * time.Millisecond,
+		Workers:     2,
+		Stats:       stats,
+	})
+	if err != nil {
+		t.Fatalf("worker did not survive transient lease failures: %v", err)
+	}
+	if got := stats.Snapshot().LeaseRetries; got != 3 {
+		t.Fatalf("LeaseRetries = %d, want 3", got)
+	}
+	if st := getStatus(t, srv.URL, id); st.State != StateDone {
+		t.Fatalf("campaign state %s, want done", st.State)
+	}
+
+	// Persistent failure: every poll 500s; the worker must give up after
+	// the bounded budget with an actionable error, not loop forever.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	stats2 := &telemetry.DistStats{}
+	err = RunWorker(context.Background(), WorkerOptions{
+		Coordinator: dead.URL, Drain: true, Poll: time.Millisecond, Stats: stats2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "after 6 retries") {
+		t.Fatalf("persistently failing coordinator not fatal after the retry budget: %v", err)
+	}
+	if got := stats2.Snapshot().LeaseRetries; got != 6 {
+		t.Fatalf("LeaseRetries = %d, want the full budget 6", got)
 	}
 }

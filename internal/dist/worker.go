@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -50,11 +51,27 @@ type WorkerOptions struct {
 	Client *http.Client
 	// Output receives progress lines (default: discard).
 	Output io.Writer
+	// Stats receives lease-retry counts (telemetry.DistStats.LeaseRetried);
+	// nil is fine — every method on DistStats is nil-safe.
+	Stats *telemetry.DistStats
 
 	// onLease is a test hook observing each granted lease before the shard
 	// runs.
 	onLease func(*Lease)
 }
+
+// Lease-poll retry policy: a coordinator restart or a blip in the network
+// should not kill a worker that may be hours into a campaign's golden
+// cache. Transient failures (transport errors, 5xx) back off exponentially
+// with jitter and only become fatal after maxLeaseRetries consecutive
+// failures; any 4xx is a protocol-level rejection and stays immediately
+// fatal.
+var (
+	leaseBackoffBase = 200 * time.Millisecond
+	leaseBackoffCap  = 5 * time.Second
+)
+
+const maxLeaseRetries = 6
 
 // errFenced marks a shard whose lease was lost mid-run; the worker drops
 // the shard and continues.
@@ -81,21 +98,42 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 		opts.Output = io.Discard
 	}
 	w := &worker{opts: opts, base: strings.TrimRight(opts.Coordinator, "/"), goldens: make(map[string]*goldenEntry)}
+	retries := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		var resp LeaseResponse
 		status, body, err := w.post(ctx, "/lease", LeaseRequest{Worker: opts.ID}, &resp)
-		if err != nil {
+		if err != nil || status >= 500 {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			return fmt.Errorf("dist: leasing from %s: %w", w.base, err)
+			retries++
+			if retries > maxLeaseRetries {
+				if err != nil {
+					return fmt.Errorf("dist: leasing from %s: %w (after %d retries)", w.base, err, maxLeaseRetries)
+				}
+				return fmt.Errorf("dist: coordinator rejected lease request: HTTP %d: %s (after %d retries)", status, body, maxLeaseRetries)
+			}
+			opts.Stats.LeaseRetried()
+			delay := leaseBackoff(retries)
+			if err != nil {
+				fmt.Fprintf(opts.Output, "worker %s: lease poll failed (%v), retry %d/%d in %v\n",
+					opts.ID, err, retries, maxLeaseRetries, delay)
+			} else {
+				fmt.Fprintf(opts.Output, "worker %s: lease poll failed (HTTP %d), retry %d/%d in %v\n",
+					opts.ID, status, retries, maxLeaseRetries, delay)
+			}
+			if !sleepCtx(ctx, delay) {
+				return ctx.Err()
+			}
+			continue
 		}
 		if status != http.StatusOK {
 			return fmt.Errorf("dist: coordinator rejected lease request: HTTP %d: %s", status, body)
 		}
+		retries = 0
 		if resp.Lease == nil {
 			if resp.Drained && opts.Drain {
 				fmt.Fprintf(opts.Output, "worker %s: coordinator drained, exiting\n", opts.ID)
@@ -287,6 +325,20 @@ func workersFor(cfg experiment.Config) int {
 		return cfg.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// leaseBackoff computes the delay before retry attempt n (1-based):
+// exponential from leaseBackoffBase, capped at leaseBackoffCap, with up to
+// 25% random jitter so a fleet of workers restarted together doesn't
+// hammer a recovering coordinator in lockstep. The jitter is plain
+// math/rand — lease timing is pure control plane and never touches the
+// deterministic record path.
+func leaseBackoff(n int) time.Duration {
+	d := leaseBackoffBase << (n - 1)
+	if d > leaseBackoffCap || d <= 0 {
+		d = leaseBackoffCap
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/4+1))
 }
 
 // sleepCtx sleeps for d or until ctx ends; reports whether the full sleep

@@ -17,9 +17,14 @@ package experiment
 //     device hangs the synchronous group (outcome.GroupHang) and corrupt
 //     contributions flow into the weights unchecked.
 //   - Mitigated (Config.Quarantine true): recovery.GroupGuard drives the
-//     run — timeout+retry with exclusion, the cross-replica consistency
-//     check, quarantine with two-iteration re-execution, and hot-rejoin
-//     (suppressed when Config.Degraded keeps the group degraded).
+//     run under the strategy Config.ResolvedRecovery selects — reexec
+//     (timeout+retry with exclusion, cross-replica check, two-iteration
+//     re-execution, timer-based hot-rejoin), jit (just-in-time donor
+//     checkpointing with background restore), elastic (global-batch
+//     re-partitioning over survivors with shard-weighted averaging), or
+//     degraded (quarantine-only). A single sampled population replayed
+//     under each strategy is the head-to-head comparison the paper's
+//     recovery axis calls for.
 
 import (
 	"repro/internal/fault"
@@ -82,8 +87,10 @@ func runDeviceFault(g *Golden, pooled *train.Engine, df fault.DeviceFault, cfg C
 	}
 	e.Group().Arm(df)
 
+	strategy := cfg.ResolvedRecovery()
 	rec := Record{DeviceFault: df, NonFiniteIter: -1, DetectIter: -1, QuarantineIter: -1,
-		AdoptedFrom: -1, EarlyExitIter: -1, ConvergedIter: -1, Masked: true}
+		AdoptedFrom: -1, EarlyExitIter: -1, ConvergedIter: -1, Masked: true,
+		RecoveryStrategy: strategy.String(), TimeToRecoverIters: -1}
 	trace := train.NewTrace(w.Name)
 	copyGoldenPrefix(trace, g.ref, start)
 	if df.Iteration < g.horizon {
@@ -94,7 +101,8 @@ func runDeviceFault(g *Golden, pooled *train.Engine, df fault.DeviceFault, cfg C
 	checks := 0
 	if cfg.Quarantine {
 		gg := recovery.NewGroupGuard(e)
-		if cfg.Degraded {
+		gg.Strategy = strategy
+		if strategy == recovery.StrategyDegraded {
 			gg.RejoinAfter = 0 // stay degraded instead of hot-rejoining
 		}
 		if err := gg.Run(start, g.horizon, trace); err != nil {
@@ -107,6 +115,10 @@ func runDeviceFault(g *Golden, pooled *train.Engine, df fault.DeviceFault, cfg C
 		rec.DegradedIters = gg.DegradedIters
 		rec.CommRetries = gg.CommRetries
 		rec.InjectedElems = gg.CorruptElems
+		rec.TimeToRecoverIters = gg.TimeToRecover()
+		rec.JITSnapshots = gg.JITSnapshots
+		rec.Resizes = gg.Resizes
+		rec.Readmits = gg.Readmits
 		checks = trace.Completed - start // one cross-replica check per surviving iteration
 	} else {
 		for iter := start; iter < g.horizon; iter++ {
@@ -160,5 +172,6 @@ func runDeviceFault(g *Golden, pooled *train.Engine, df fault.DeviceFault, cfg C
 	rec.FinalTrainAcc = trace.FinalTrainAcc(10)
 	rec.FinalTestAcc = trace.FinalTestAcc()
 	rec.NonFiniteIter = trace.NonFiniteIter
+	rec.AccuracyCost = g.refAcc - rec.FinalTrainAcc
 	return rec, start, trace.Completed - start, checks
 }

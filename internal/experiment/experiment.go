@@ -36,6 +36,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/fault"
 	"repro/internal/outcome"
+	"repro/internal/recovery"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/train"
@@ -184,8 +185,33 @@ type Config struct {
 	// group (outcome.GroupHang) and corruption flows into the weights.
 	Quarantine bool
 	// Degraded, with Quarantine, keeps the group degraded after a
-	// quarantine instead of attempting hot-rejoins.
+	// quarantine instead of attempting hot-rejoins. Equivalent to
+	// Recovery: recovery.StrategyDegraded (the flag predates the strategy
+	// seam and is kept for compatibility).
 	Degraded bool
+	// Recovery selects the recovery strategy device-fault experiments run
+	// under Quarantine: reexec (default), jit, elastic, or degraded — see
+	// recovery.Strategy. Zero (StrategyNone) defers to the Degraded flag
+	// and otherwise means reexec, so existing configs behave unchanged.
+	Recovery recovery.Strategy
+}
+
+// ResolvedRecovery maps the mitigation knobs onto the strategy a
+// device-fault experiment actually runs: StrategyNone when Quarantine is
+// off (unmitigated — a failed device hangs the group), the explicit
+// Recovery when set, StrategyDegraded for the legacy Degraded flag, and
+// StrategyReexec otherwise.
+func (cfg *Config) ResolvedRecovery() recovery.Strategy {
+	if !cfg.Quarantine {
+		return recovery.StrategyNone
+	}
+	if cfg.Recovery != recovery.StrategyNone {
+		return cfg.Recovery
+	}
+	if cfg.Degraded {
+		return recovery.StrategyDegraded
+	}
+	return recovery.StrategyReexec
 }
 
 // Record is the result of one FI experiment.
@@ -241,6 +267,22 @@ type Record struct {
 	// and live final test evaluation are within tolerance by construction,
 	// but not proven identical.
 	ConvergedIter int
+	// RecoveryStrategy names the recovery strategy the experiment ran
+	// under ("none" for unmitigated device-fault records and FF records).
+	RecoveryStrategy string
+	// TimeToRecoverIters is the number of iterations from the first
+	// quarantine to the group being back at full strength (-1 when nothing
+	// was quarantined or the group never recovered).
+	TimeToRecoverIters int
+	// AccuracyCost is the fault-free final training accuracy minus this
+	// run's — the per-record accuracy price of the fault under the chosen
+	// strategy (negative values mean the run ended above the reference).
+	AccuracyCost float64
+	// JITSnapshots counts just-in-time checkpoints captured from healthy
+	// donors; Resizes counts elastic re-partitions; Readmits counts
+	// devices returned by the JIT/elastic strategies. All zero outside
+	// device-fault campaigns running those strategies.
+	JITSnapshots, Resizes, Readmits int
 }
 
 // FaultIteration returns the iteration the experiment's fault takes effect:
@@ -343,7 +385,8 @@ func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, cfg Config) (R
 	convRun := 0
 
 	rec := Record{Injection: inj, NonFiniteIter: -1, DetectIter: -1, QuarantineIter: -1, Masked: true,
-		AdoptedFrom: -1, EarlyExitIter: -1, ConvergedIter: -1}
+		AdoptedFrom: -1, EarlyExitIter: -1, ConvergedIter: -1,
+		RecoveryStrategy: recovery.StrategyNone.String(), TimeToRecoverIters: -1}
 	checks := 0
 	synthesized := 0
 	trace := train.NewTrace(w.Name)
@@ -430,6 +473,7 @@ func runOne(g *Golden, pooled *train.Engine, inj fault.Injection, cfg Config) (R
 	rec.FinalTrainAcc = trace.FinalTrainAcc(10)
 	rec.FinalTestAcc = trace.FinalTestAcc()
 	rec.NonFiniteIter = trace.NonFiniteIter
+	rec.AccuracyCost = g.refAcc - rec.FinalTrainAcc
 	return rec, start, trace.Completed - start - synthesized, synthesized, checks
 }
 
@@ -712,5 +756,64 @@ func (c *Campaign) Report(w io.Writer) {
 		}
 		fmt.Fprintf(w, "  group mitigation: %d quarantines, %d rejoins, %d degraded iters, %d comm retries, %d group hangs\n",
 			q, rj, di, cr, c.Tally.Counts[outcome.GroupHang])
+		if rs := c.RecoveryStats(); rs.Strategy != "none" {
+			line := fmt.Sprintf("  recovery [%s]: %d/%d recovered", rs.Strategy, rs.Recovered, rs.Records)
+			if rs.Recovered > 0 {
+				line += fmt.Sprintf(", mean time-to-recover %.1f iters", rs.MeanTTR)
+			}
+			line += fmt.Sprintf(", mean accuracy cost %+.3f", rs.MeanAccuracyCost)
+			if rs.JITSnapshots > 0 || rs.Resizes > 0 || rs.Readmits > 0 {
+				line += fmt.Sprintf(" (%d jit snapshots, %d resizes, %d readmits)", rs.JITSnapshots, rs.Resizes, rs.Readmits)
+			}
+			fmt.Fprintf(w, "%s\n", line)
+		}
 	}
+}
+
+// RecoveryStats aggregates one campaign's recovery behavior — the
+// head-to-head comparison unit when the same device-fault population is
+// replayed under different strategies.
+type RecoveryStats struct {
+	// Strategy is the resolved recovery strategy the campaign ran.
+	Strategy string
+	// Records / Hangs / Recovered count completed records, GroupHang
+	// outcomes, and records whose group returned to full strength.
+	Records, Hangs, Recovered int
+	// MeanTTR is the mean time-to-recover in iterations over the
+	// recovered records (0 when none recovered).
+	MeanTTR float64
+	// MeanAccuracyCost is the mean per-record accuracy cost vs the
+	// fault-free reference over all completed records.
+	MeanAccuracyCost float64
+	// JITSnapshots / Resizes / Readmits total the strategy-specific
+	// recovery activity.
+	JITSnapshots, Resizes, Readmits int
+}
+
+// RecoveryStats computes the campaign's recovery aggregate.
+func (c *Campaign) RecoveryStats() RecoveryStats {
+	rs := RecoveryStats{
+		Strategy: c.Cfg.ResolvedRecovery().String(),
+		Hangs:    c.Tally.Counts[outcome.GroupHang],
+	}
+	var ttrSum, costSum float64
+	for i := range c.Records {
+		r := &c.Records[i]
+		rs.Records++
+		costSum += r.AccuracyCost
+		if r.TimeToRecoverIters >= 0 {
+			rs.Recovered++
+			ttrSum += float64(r.TimeToRecoverIters)
+		}
+		rs.JITSnapshots += r.JITSnapshots
+		rs.Resizes += r.Resizes
+		rs.Readmits += r.Readmits
+	}
+	if rs.Recovered > 0 {
+		rs.MeanTTR = ttrSum / float64(rs.Recovered)
+	}
+	if rs.Records > 0 {
+		rs.MeanAccuracyCost = costSum / float64(rs.Records)
+	}
+	return rs
 }

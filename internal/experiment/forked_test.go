@@ -31,7 +31,13 @@ func recordsEqual(a, b *Record) bool {
 		a.CommRetries == b.CommRetries &&
 		a.AdoptedFrom == b.AdoptedFrom &&
 		a.EarlyExitIter == b.EarlyExitIter &&
-		a.ConvergedIter == b.ConvergedIter
+		a.ConvergedIter == b.ConvergedIter &&
+		a.RecoveryStrategy == b.RecoveryStrategy &&
+		a.TimeToRecoverIters == b.TimeToRecoverIters &&
+		f64(a.AccuracyCost, b.AccuracyCost) &&
+		a.JITSnapshots == b.JITSnapshots &&
+		a.Resizes == b.Resizes &&
+		a.Readmits == b.Readmits
 }
 
 // recordsEquivalent compares only the outcome payload — everything except

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/recovery"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -57,8 +58,18 @@ func (cfg Config) Fingerprint() string {
 	// fields are appended only when enabled so every pre-existing FF-campaign
 	// fingerprint (and journal) stays valid.
 	if cfg.DeviceFaults {
+		// The resolved recovery strategy changes mitigated trajectories
+		// (and the per-record recovery fields) bit for bit. The degraded
+		// flag reflects the resolved strategy so Recovery:StrategyDegraded
+		// and the legacy Degraded flag fingerprint identically; jit and
+		// elastic append their name (only when selected, so every
+		// pre-existing device-fault fingerprint stays valid).
+		rs := cfg.ResolvedRecovery()
 		fmt.Fprintf(h, "|devfaults|dkinds=%v|quarantine=%t|degraded=%t",
-			cfg.DeviceFaultKinds, cfg.Quarantine, cfg.Degraded)
+			cfg.DeviceFaultKinds, cfg.Quarantine, rs == recovery.StrategyDegraded)
+		if rs == recovery.StrategyJIT || rs == recovery.StrategyElastic {
+			fmt.Fprintf(h, "|recovery=%s", rs)
+		}
 	}
 	// The converged-tail fast-path produces approximate records, so it
 	// changes the fingerprint (appended only when enabled, same
@@ -489,6 +500,7 @@ func Resume(cfg Config, opts RunOptions) (*Campaign, error) {
 				}
 				opts.Stats.ExperimentDone(wk, rec.Outcome, start, done, checks)
 				opts.Stats.GroupMitigation(rec.Quarantines, rec.Rejoins, rec.DegradedIters, rec.CommRetries)
+				opts.Stats.RecoveryActivity(rec.JITSnapshots, rec.Resizes, rec.Readmits)
 				if sink != nil {
 					if err := sink.Append(i, rec); err != nil {
 						failSink(fmt.Errorf("experiment: journaling record %d: %w", i, err))

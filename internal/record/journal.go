@@ -52,8 +52,13 @@ const (
 	// rejected at the schema gate instead. v3 added the equivalence-layer
 	// provenance (adopted_from, early_exit_iter, converged_iter), which has
 	// the same zero-vs-(-1) decoding hazard — v2 journals are rejected with
-	// a dedicated message below.
-	journalRecordSchema = "campaign-record-v3"
+	// a dedicated message below. v4 added the recovery-strategy fields
+	// (recovery_strategy, time_to_recover_iters, accuracy_cost, plus the
+	// jit/resize/readmit counters); time_to_recover_iters shares the
+	// zero-vs-(-1) hazard and accuracy_cost would decode as 0 where the live
+	// record holds a measured cost, so v3 journals get the same loud
+	// rejection.
+	journalRecordSchema = "campaign-record-v4"
 	// defaultFlushEvery is the fsync batch size: the journal makes work
 	// durable every this many appended records (and on Flush/Close).
 	defaultFlushEvery = 16
@@ -156,8 +161,8 @@ func headerFor(cfg experiment.Config, goldenDigest string) journalHeader {
 		GoldenDigest: goldenDigest,
 	}
 	if cfg.DeviceFaults {
-		h.DeviceFaults = fmt.Sprintf("kinds=%v quarantine=%t degraded=%t",
-			cfg.DeviceFaultKinds, cfg.Quarantine, cfg.Degraded)
+		h.DeviceFaults = fmt.Sprintf("kinds=%v quarantine=%t recovery=%s",
+			cfg.DeviceFaultKinds, cfg.Quarantine, cfg.ResolvedRecovery())
 	}
 	h.Efficiency = cfg.EfficiencyBinding()
 	return h
@@ -260,6 +265,10 @@ func journalRecordLines(path string, raw []byte, want journalHeader) ([]string, 
 	if got.RecordSchema != want.RecordSchema {
 		if got.RecordSchema == "campaign-record-v2" {
 			return nil, fmt.Errorf("record: journal %s uses record schema campaign-record-v2, this binary writes %s — v3 added the equivalence-layer provenance fields (adopted_from, early_exit_iter, converged_iter), and v2 lines would decode them as 0 where the live record uses -1, silently corrupting the byte-identical resume contract; re-run the campaign from scratch",
+				path, want.RecordSchema)
+		}
+		if got.RecordSchema == "campaign-record-v3" {
+			return nil, fmt.Errorf("record: journal %s uses record schema campaign-record-v3, this binary writes %s — v4 added the recovery-strategy fields (recovery_strategy, time_to_recover_iters, accuracy_cost), and v3 lines would decode time_to_recover_iters as 0 where the live record uses -1 (and accuracy_cost as 0 where the live record holds a measured cost), silently corrupting the byte-identical resume contract; re-run the campaign from scratch",
 				path, want.RecordSchema)
 		}
 		return nil, fmt.Errorf("record: journal %s uses record schema %q, this binary uses %q — the record layout changed between releases; re-run the campaign from scratch",
@@ -476,6 +485,13 @@ func EncodeCampaignRecord(r *experiment.Record) CampaignRecordJSON {
 		AdoptedFrom:    r.AdoptedFrom,
 		EarlyExitIter:  r.EarlyExitIter,
 		ConvergedIter:  r.ConvergedIter,
+
+		RecoveryStrategy:   r.RecoveryStrategy,
+		TimeToRecoverIters: r.TimeToRecoverIters,
+		AccuracyCost:       Float(r.AccuracyCost),
+		JITSnapshots:       r.JITSnapshots,
+		Resizes:            r.Resizes,
+		Readmits:           r.Readmits,
 	}
 }
 
@@ -521,6 +537,13 @@ func DecodeCampaignRecord(j CampaignRecordJSON) (experiment.Record, error) {
 		AdoptedFrom:    j.AdoptedFrom,
 		EarlyExitIter:  j.EarlyExitIter,
 		ConvergedIter:  j.ConvergedIter,
+
+		RecoveryStrategy:   j.RecoveryStrategy,
+		TimeToRecoverIters: j.TimeToRecoverIters,
+		AccuracyCost:       float64(j.AccuracyCost),
+		JITSnapshots:       j.JITSnapshots,
+		Resizes:            j.Resizes,
+		Readmits:           j.Readmits,
 	}
 	if j.DeviceFault != nil {
 		df, err := DecodeDeviceFault(*j.DeviceFault)

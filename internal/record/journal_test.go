@@ -48,7 +48,13 @@ func journalRecordsEqual(a, b *experiment.Record) bool {
 		a.CommRetries == b.CommRetries &&
 		a.AdoptedFrom == b.AdoptedFrom &&
 		a.EarlyExitIter == b.EarlyExitIter &&
-		a.ConvergedIter == b.ConvergedIter
+		a.ConvergedIter == b.ConvergedIter &&
+		a.RecoveryStrategy == b.RecoveryStrategy &&
+		a.TimeToRecoverIters == b.TimeToRecoverIters &&
+		f64(a.AccuracyCost, b.AccuracyCost) &&
+		a.JITSnapshots == b.JITSnapshots &&
+		a.Resizes == b.Resizes &&
+		a.Readmits == b.Readmits
 }
 
 // interruptingSink journals every record and cancels the campaign after
@@ -379,6 +385,42 @@ func TestJournalCorruption(t *testing.T) {
 			t.Fatal("CreateJournal overwrote an existing journal")
 		}
 	})
+}
+
+// TestJournalRejectsOldRecordSchemas: journals written by previous releases
+// carry record lines missing fields the current schema always encodes with
+// -1 sentinels (quarantine_iter in v2, time_to_recover_iters in v4's view
+// of v3), so decoding them would silently turn "never happened" into 0 and
+// break the byte-identical resume contract. The schema gate must reject
+// each old version loudly, by name, with an actionable message — and the
+// v3 rejection must name the recovery fields that motivated the bump.
+func TestJournalRejectsOldRecordSchemas(t *testing.T) {
+	path, cfg, digest := completeJournal(t)
+	for _, old := range []string{"campaign-record-v2", "campaign-record-v3"} {
+		forged := mutateJournal(t, path, func(raw []byte) []byte {
+			lines := strings.SplitN(string(raw), "\n", 2)
+			var hdr map[string]any
+			if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+				t.Fatal(err)
+			}
+			hdr["record_schema"] = old
+			out, err := json.Marshal(hdr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return []byte(string(out) + "\n" + lines[1])
+		})
+		_, _, err := OpenJournal(forged, cfg, digest)
+		if err == nil || !strings.Contains(err.Error(), old) {
+			t.Fatalf("%s journal not rejected by name: %v", old, err)
+		}
+		if !strings.Contains(err.Error(), "re-run the campaign from scratch") {
+			t.Fatalf("%s rejection is not actionable: %v", old, err)
+		}
+		if old == "campaign-record-v3" && !strings.Contains(err.Error(), "time_to_recover_iters") {
+			t.Fatalf("v3 rejection does not explain the recovery-field hazard: %v", err)
+		}
+	}
 }
 
 // TestCampaignRecordRoundTrip: the wire encoding must round-trip records

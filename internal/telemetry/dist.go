@@ -27,6 +27,7 @@ type DistStats struct {
 	leasesRenewed    atomic.Int64
 	leasesExpired    atomic.Int64
 	leasesReassigned atomic.Int64
+	leaseRetries     atomic.Int64
 
 	shardsCompleted atomic.Int64
 	shardsMerged    atomic.Int64
@@ -85,6 +86,16 @@ func (s *DistStats) LeaseRenewed() {
 	s.leasesRenewed.Add(1)
 }
 
+// LeaseRetried records one worker lease poll retried after a transient
+// coordinator error (connection refused, timeout, 5xx) — the worker-side
+// backoff loop's counter.
+func (s *DistStats) LeaseRetried() {
+	if s == nil {
+		return
+	}
+	s.leaseRetries.Add(1)
+}
+
 // LeaseExpired records one lease that passed its deadline and returned its
 // shard to the pending pool.
 func (s *DistStats) LeaseExpired() {
@@ -124,6 +135,7 @@ type DistSnapshot struct {
 	LeasesRenewed      int64 `json:"leases_renewed"`
 	LeasesExpired      int64 `json:"leases_expired"`
 	LeasesReassigned   int64 `json:"leases_reassigned"`
+	LeaseRetries       int64 `json:"lease_retries"`
 	ShardsCompleted    int64 `json:"shards_completed"`
 	ShardsMerged       int64 `json:"shards_merged"`
 	RecordsIngested    int64 `json:"records_ingested"`
@@ -143,6 +155,7 @@ func (s *DistStats) Snapshot() DistSnapshot {
 		LeasesRenewed:      s.leasesRenewed.Load(),
 		LeasesExpired:      s.leasesExpired.Load(),
 		LeasesReassigned:   s.leasesReassigned.Load(),
+		LeaseRetries:       s.leaseRetries.Load(),
 		ShardsCompleted:    s.shardsCompleted.Load(),
 		ShardsMerged:       s.shardsMerged.Load(),
 		RecordsIngested:    s.recordsIngested.Load(),

@@ -81,6 +81,14 @@ type CampaignStats struct {
 	degradedIters atomic.Int64
 	commRetries   atomic.Int64
 
+	// Recovery-strategy activity (zero outside device-fault campaigns
+	// running the jit/elastic strategies): just-in-time checkpoints
+	// captured from healthy donors, elastic batch re-partitions, and
+	// devices re-admitted by those strategies.
+	jitSnapshots atomic.Int64
+	resizes      atomic.Int64
+	readmits     atomic.Int64
+
 	// Locality of the campaign scheduler (see experiment.Config.NoAffine):
 	// pooled-engine snapshot restores split by whether the worker's previous
 	// experiment forked from the same golden snapshot (warm) or a different
@@ -199,6 +207,25 @@ func (s *CampaignStats) GroupMitigation(quarantines, rejoins, degradedIters, com
 	}
 }
 
+// RecoveryActivity accumulates one experiment's recovery-strategy
+// activity: just-in-time snapshots, elastic resizes, and re-admissions.
+// Called once per record alongside GroupMitigation; all-zero calls (every
+// FF-campaign and reexec/degraded record) are free.
+func (s *CampaignStats) RecoveryActivity(jitSnapshots, resizes, readmits int) {
+	if s == nil {
+		return
+	}
+	if jitSnapshots != 0 {
+		s.jitSnapshots.Add(int64(jitSnapshots))
+	}
+	if resizes != 0 {
+		s.resizes.Add(int64(resizes))
+	}
+	if readmits != 0 {
+		s.readmits.Add(int64(readmits))
+	}
+}
+
 // EngineRestore records one pooled-engine snapshot restore: warm when the
 // worker's previous experiment forked from the same golden snapshot (the
 // snapshot bytes and the engine's working set are still cache-resident),
@@ -287,6 +314,12 @@ type Snapshot struct {
 	Rejoins       int64 `json:"rejoins"`
 	DegradedIters int64 `json:"degraded_iters"`
 	CommRetries   int64 `json:"comm_retries"`
+	// JITSnapshots / Resizes / Readmits aggregate the recovery-strategy
+	// activity of device-fault campaigns running the jit/elastic
+	// strategies (all zero otherwise).
+	JITSnapshots int64 `json:"jit_snapshots"`
+	Resizes      int64 `json:"resizes"`
+	Readmits     int64 `json:"readmits"`
 	// DedupAdopted / EarlyExits / ConvergedTails / ItersSynthesized
 	// aggregate the equivalence layer's savings: records adopted from a
 	// dedup owner, executions truncated by the bitwise and thresholded
@@ -330,6 +363,9 @@ func (s *CampaignStats) Snapshot() Snapshot {
 		Rejoins:        s.rejoins.Load(),
 		DegradedIters:  s.degradedIters.Load(),
 		CommRetries:    s.commRetries.Load(),
+		JITSnapshots:   s.jitSnapshots.Load(),
+		Resizes:        s.resizes.Load(),
+		Readmits:       s.readmits.Load(),
 		WarmRestores:   s.warmRestores.Load(),
 		ColdRestores:   s.coldRestores.Load(),
 		LaneMigrations: s.laneMigrations.Load(),

@@ -109,6 +109,10 @@ type Engine struct {
 	deviceParallel bool
 	devResults     []devStats
 
+	// elastic re-partitions the global batch across the healthy devices
+	// whenever part of the group is quarantined (see SetElastic).
+	elastic bool
+
 	// digestBuf / digestNames are StateDigest's reused serialization
 	// scratch and sorted optimizer-history key cache.
 	digestBuf   []byte
@@ -265,6 +269,7 @@ func (e *Engine) Reset() {
 	e.ForwardMonitor = nil
 	e.AbsMaxMonitor = nil
 	e.lastNonFinite = ""
+	e.elastic = false
 	e.grp.Reset()
 	e.lastReduce = comm.ReduceStep{}
 }
@@ -306,6 +311,20 @@ func (e *Engine) SetDeviceParallel(on bool) { e.deviceParallel = on }
 
 // DeviceParallel reports whether device-parallel stepping is enabled.
 func (e *Engine) DeviceParallel() bool { return e.deviceParallel }
+
+// SetElastic selects elastic batch re-partitioning (off by default): when
+// enabled and part of the group is quarantined, RunIteration re-partitions
+// the FULL global batch across the healthy devices — near-equal contiguous
+// shards, ascending device order — instead of dropping the quarantined
+// devices' shards. Per-device batch grows, no example is lost, and
+// gradient averaging stays exact over the new partition via shard-weighted
+// AllReduce (comm.Group.SetShards). At full strength the legacy fixed
+// partition is used bit for bit, so elastic engines are interchangeable
+// with plain ones until the first quarantine.
+func (e *Engine) SetElastic(on bool) { e.elastic = on }
+
+// Elastic reports whether elastic batch re-partitioning is enabled.
+func (e *Engine) Elastic() bool { return e.elastic }
 
 // ctxRand returns the deterministic RNG for (iteration, device).
 func (e *Engine) ctxRand(iter, device int) *rng.Rand {
@@ -358,25 +377,27 @@ type IterStats struct {
 type devStats struct {
 	loss          float64
 	correct       int
+	examples      int // shard size the device processed
 	nonFiniteAt   string
 	injected      bool
 	injectedElems int
 }
 
-// deviceStep runs device d's shard of iteration iter: forward pass (with
-// injection and monitoring hooks), loss, and backward pass, accumulating
-// gradients into the device's replica. It touches only per-device state —
+// deviceStep runs device d's shard [lo, lo+n) of iteration iter: forward
+// pass (with injection and monitoring hooks), loss, and backward pass,
+// accumulating gradients into the device's replica. The fixed partition
+// passes lo = d·PerDeviceBatch, n = PerDeviceBatch; the elastic partition
+// passes the re-balanced shard. It touches only per-device state —
 // replica d, the (iter, d) RNG stream, and (on the injection device only)
 // the injection bookkeeping — so distinct devices may run concurrently.
-func (e *Engine) deviceStep(iter, d int, batch data.Batch, exLen int) devStats {
+func (e *Engine) deviceStep(iter, d int, batch data.Batch, exLen, lo, n int) devStats {
 	var ds devStats
-	perDev := e.cfg.PerDeviceBatch
+	ds.examples = n
 
 	// Shard the global batch.
-	lo := d * perDev
-	shardShape := append([]int{perDev}, batch.X.Shape[1:]...)
-	x := tensor.FromSlice(batch.X.Data[lo*exLen:(lo+perDev)*exLen], shardShape...)
-	y := batch.Y[lo : lo+perDev]
+	shardShape := append([]int{n}, batch.X.Shape[1:]...)
+	x := tensor.FromSlice(batch.X.Data[lo*exLen:(lo+n)*exLen], shardShape...)
+	y := batch.Y[lo : lo+n]
 
 	ctx := &nn.Context{Training: true, Rand: e.ctxRand(iter, d),
 		CollectStats: e.AbsMaxMonitor != nil}
@@ -519,6 +540,37 @@ func (e *Engine) RunIteration(iter int) IterStats {
 	}
 
 	healthy := e.grp.Healthy()
+	global := e.cfg.Devices * perDev
+
+	// Elastic partition: with part of the group quarantined, spread the
+	// FULL global batch over the survivors in near-equal contiguous shards
+	// (ascending device order, a pure function of the healthy set — the
+	// run stays deterministic for a fixed failure schedule). At full
+	// strength the fixed partition below is used bit for bit.
+	elasticActive := e.elastic && len(healthy) > 0 && len(healthy) < e.cfg.Devices
+	var eLo, eN []int // per-device elastic shard, indexed by device
+	if elasticActive {
+		k := len(healthy)
+		base, rem := global/k, global%k
+		eLo = make([]int, e.cfg.Devices)
+		eN = make([]int, e.cfg.Devices)
+		lo := 0
+		for i, d := range healthy {
+			n := base
+			if i < rem {
+				n++
+			}
+			eLo[d], eN[d] = lo, n
+			lo += n
+		}
+	}
+	shardFor := func(d int) (lo, n int) {
+		if elasticActive {
+			return eLo[d], eN[d]
+		}
+		return d * perDev, perDev
+	}
+
 	if cap(e.devResults) < e.cfg.Devices {
 		e.devResults = make([]devStats, e.cfg.Devices)
 	}
@@ -529,23 +581,31 @@ func (e *Engine) RunIteration(iter int) IterStats {
 			wg.Add(1)
 			go func(d int) {
 				defer wg.Done()
-				results[d] = e.deviceStep(iter, d, batch, exLen)
+				lo, n := shardFor(d)
+				results[d] = e.deviceStep(iter, d, batch, exLen, lo, n)
 			}(d)
 		}
 		wg.Wait()
 	} else {
 		for _, d := range healthy {
-			results[d] = e.deviceStep(iter, d, batch, exLen)
+			lo, n := shardFor(d)
+			results[d] = e.deviceStep(iter, d, batch, exLen, lo, n)
 		}
 	}
 
 	// Merge per-device results in ascending device order (the order the
-	// sequential loop produced them in).
+	// sequential loop produced them in). Elastic shards can be unequal, so
+	// the elastic merge weights each device's mean loss by its shard size;
+	// the fixed partition keeps the legacy formulas bit for bit.
 	var totalLoss float64
 	var totalCorrect int
 	for _, d := range healthy {
 		r := &results[d]
-		totalLoss += r.loss
+		if elasticActive {
+			totalLoss += r.loss * float64(r.examples)
+		} else {
+			totalLoss += r.loss
+		}
 		totalCorrect += r.correct
 		if r.injected {
 			stats.Injected = true
@@ -556,10 +616,22 @@ func (e *Engine) RunIteration(iter int) IterStats {
 			stats.NonFiniteAt = r.nonFiniteAt
 		}
 	}
-	stats.Loss = totalLoss / float64(len(healthy))
-	stats.TrainAcc = float64(totalCorrect) / float64(len(healthy)*perDev)
+	if elasticActive {
+		stats.Loss = totalLoss / float64(global)
+		stats.TrainAcc = float64(totalCorrect) / float64(global)
+	} else {
+		stats.Loss = totalLoss / float64(len(healthy))
+		stats.TrainAcc = float64(totalCorrect) / float64(len(healthy)*perDev)
+	}
 
-	// Synchronous gradient averaging through the collective layer.
+	// Synchronous gradient averaging through the collective layer; the
+	// elastic partition installs its shard weights first so averaging is
+	// exact over the re-balanced (unequal) shards.
+	if elasticActive {
+		e.grp.SetShards(eN)
+	} else {
+		e.grp.SetShards(nil)
+	}
 	red := e.grp.AllReduce(iter, e.gradViews)
 	e.lastReduce = red
 	stats.Degraded = red.Degraded(e.cfg.Devices)
@@ -771,4 +843,79 @@ func (e *Engine) Restore(s *State) {
 	}
 	e.opt.Restore(s.OptState)
 	e.lastNonFinite = ""
+}
+
+// ReplicaState is a deep copy of a single device's replica — parameter
+// values, BatchNorm moving statistics, and the optimizer history as of the
+// capture. It is the unit of just-in-time checkpointing: data-parallel
+// ranks hold identical weights, so a healthy donor's ReplicaState is
+// exactly the checkpoint a lost rank needs, captured only after the
+// failure at zero periodic cost.
+type ReplicaState struct {
+	// Device is the donor the state was captured from.
+	Device int
+	// Params holds the parameter values in replica parameter order.
+	Params []*tensor.Tensor
+	// BNStats holds (movingMean, movingVar) pairs per BatchNorm layer.
+	BNStats []*tensor.Tensor
+	// OptState is the optimizer history at capture time. In this engine
+	// the optimizer is group-global (keyed by parameter name, stepped once
+	// per iteration on the reduction root), so re-admission never restores
+	// it — it is captured so the checkpoint is complete and its fidelity
+	// provable.
+	OptState map[string][]*tensor.Tensor
+}
+
+// SnapshotReplica deep-copies device d's replica state — the just-in-time
+// checkpoint capture. Unlike Snapshot it reads ONLY replica d (and the
+// group-global optimizer), so it is safe while other replicas are being
+// mutated concurrently.
+func (e *Engine) SnapshotReplica(d int) *ReplicaState {
+	s := &ReplicaState{Device: d, OptState: e.opt.Snapshot()}
+	for _, p := range e.replicas[d].Params() {
+		s.Params = append(s.Params, p.Value.Clone())
+	}
+	for _, bn := range e.replicas[d].BatchNorms() {
+		s.BNStats = append(s.BNStats, bn.MovingMean.Clone(), bn.MovingVar.Clone())
+	}
+	return s
+}
+
+// RestoreReplica images replica d from a ReplicaState: parameter values
+// and BatchNorm statistics are copied in and gradients zeroed. It writes
+// ONLY replica d — no optimizer, group, or loader state — so a recovery
+// layer may run it on a background goroutine while training continues, as
+// long as d stays quarantined until the copy finishes (quarantined
+// replicas are never read or written by RunIteration). The captured
+// optimizer history is deliberately not restored: the optimizer is
+// group-global and has advanced with the surviving ranks.
+func (e *Engine) RestoreReplica(d int, s *ReplicaState) {
+	dst := e.replicas[d]
+	for pi, p := range dst.Params() {
+		p.Value.CopyFrom(s.Params[pi])
+		p.Grad.Zero()
+	}
+	for i, bn := range dst.BatchNorms() {
+		bn.MovingMean.CopyFrom(s.BNStats[2*i])
+		bn.MovingVar.CopyFrom(s.BNStats[2*i+1])
+	}
+}
+
+// SyncWeights copies the current root replica's parameter values onto
+// device d and zeroes its gradients — the weight top-up that brings a
+// JIT-restored rank from its checkpoint to the group's present iteration.
+// BatchNorm statistics are left as the restore put them (per-device state;
+// the checkpoint's statistics are the freshest consistent set the rank
+// has). The caller re-admits the device via Group().Rejoin afterwards.
+func (e *Engine) SyncWeights(d int) error {
+	peer := e.grp.Root()
+	if peer == d || e.grp.HealthyCount() == 0 {
+		return fmt.Errorf("train: no healthy peer to sync device %d from", d)
+	}
+	src := e.replicas[peer].Params()
+	for pi, p := range e.replicas[d].Params() {
+		p.Value.CopyFrom(src[pi].Value)
+		p.Grad.Zero()
+	}
+	return nil
 }
